@@ -1,0 +1,21 @@
+"""Shared helpers for the benchmark suite.
+
+Each benchmark runs one experiment (QUICK sizing) exactly once under
+pytest-benchmark timing, prints the paper-style table, and asserts the
+claim's *shape* — who wins, what is zero and what is not — rather than
+absolute numbers (our substrate is a simulator, not the authors'
+testbed)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.runner import ExperimentResult
+
+
+def run_once(benchmark, run_fn, params) -> ExperimentResult:
+    """Run the experiment exactly once under benchmark timing."""
+    result = benchmark.pedantic(run_fn, kwargs=params, rounds=1, iterations=1)
+    print()
+    print(result.render())
+    return result

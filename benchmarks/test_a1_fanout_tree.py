@@ -1,0 +1,21 @@
+"""A1 ablation: relay trees divide source fan-out work."""
+
+from conftest import run_once
+
+from repro.bench.experiments import a1_fanout_tree
+
+
+def test_a1_fanout_tree(benchmark):
+    result = run_once(benchmark, a1_fanout_tree.run, a1_fanout_tree.QUICK)
+    table = result.table("topologies")
+    direct = table.row_by("topology", "direct")
+    tree = table.row_by("topology", "tree")
+
+    # both topologies deliver complete state to every consumer
+    assert direct["all_complete"] and tree["all_complete"]
+    # the tree's source layer serves only the relays
+    assert tree["source_sessions"] == a1_fanout_tree.QUICK["num_relays"]
+    assert direct["source_sessions"] == a1_fanout_tree.QUICK["num_consumers"]
+    assert tree["source_deliveries"] * 2 < direct["source_deliveries"]
+    # the cost: one extra hop of latency, but same order of magnitude
+    assert tree["latency_p99"] < direct["latency_p99"] * 10

@@ -1,0 +1,21 @@
+"""A2 ablation: soft-state budget trades memory for resync load."""
+
+from conftest import run_once
+
+from repro.bench.experiments import a2_soft_state_budget
+
+
+def test_a2_soft_state_budget(benchmark):
+    result = run_once(
+        benchmark, a2_soft_state_budget.run, a2_soft_state_budget.QUICK
+    )
+    table = result.table("budget sweep")
+    rows = sorted(table.rows, key=lambda r: r["budget_events"])
+
+    # every budget converges correctly — the knob never costs consistency
+    assert all(r["all_complete"] for r in rows)
+    # smaller budgets force more resyncs (and store snapshot reads)
+    assert rows[0]["resyncs"] > rows[-1]["resyncs"]
+    assert rows[0]["snapshots_taken"] >= rows[-1]["snapshots_taken"]
+    # bigger budgets hold more memory
+    assert rows[0]["peak_soft_state_events"] < rows[-1]["peak_soft_state_events"]

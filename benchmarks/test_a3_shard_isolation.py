@@ -1,0 +1,23 @@
+"""A3 ablation: sharding the watch layer isolates failures."""
+
+from conftest import run_once
+
+from repro.bench.experiments import a3_shard_isolation
+
+
+def test_a3_shard_isolation(benchmark):
+    result = run_once(
+        benchmark, a3_shard_isolation.run, a3_shard_isolation.QUICK
+    )
+    table = result.table("shard sweep")
+    rows = sorted(table.rows, key=lambda r: r["shards"])
+    mono = rows[0]
+    sharded = rows[-1]
+
+    assert all(r["all_complete"] for r in rows)
+    # monolithic: losing the watch system resyncs everyone
+    assert mono["resync_fraction"] == 1.0
+    # sharded: only the failed shard's watchers are touched
+    assert sharded["resync_fraction"] <= 0.5
+    # ingest load spreads across shards
+    assert sharded["max_shard_load_frac"] < 0.6

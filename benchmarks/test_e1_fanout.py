@@ -1,0 +1,16 @@
+"""E1 (Figure 1): baseline fanout — both systems complete the happy path."""
+
+from conftest import run_once
+
+from repro.bench.experiments import e1_fanout
+
+
+def test_e1_fanout(benchmark):
+    result = run_once(benchmark, e1_fanout.run, e1_fanout.QUICK)
+    table = result.table("fanout sweep")
+    # every configuration delivered every message to every consumer
+    assert all(table.column("complete"))
+    # latency stayed in the same order of magnitude for both systems
+    for row in table.rows:
+        assert row["latency_p99"] < 1.0
+        assert row["final_backlog"] == 0

@@ -1,0 +1,34 @@
+"""E2 (§3.1): retention GC silently loses data; watch resyncs."""
+
+from conftest import run_once
+
+from repro.bench.experiments import e2_backlog_gc
+
+
+def test_e2_backlog_gc(benchmark):
+    result = run_once(benchmark, e2_backlog_gc.run, e2_backlog_gc.QUICK)
+    table = result.table("outage sweep")
+    retention = e2_backlog_gc.QUICK["retention_hours"]
+
+    for outage in e2_backlog_gc.QUICK["outage_hours"]:
+        pubsub = next(
+            r for r in table.rows
+            if r["system"] == "pubsub" and r["outage_h"] == outage
+        )
+        watch = next(
+            r for r in table.rows
+            if r["system"] == "watch" and r["outage_h"] == outage
+        )
+        # watch always ends complete and never loses silently
+        assert watch["lost_silently"] == 0
+        assert watch["final_state_complete"]
+        if outage > retention:
+            # pubsub lost messages, told nobody, and ended incomplete
+            assert pubsub["lost_silently"] > 0
+            assert not pubsub["consumer_notified"]
+            assert not pubsub["final_state_complete"]
+            # watch was *notified* (resync) and recovered
+            assert watch["consumer_notified"]
+        else:
+            # within retention both recover fully
+            assert pubsub["final_state_complete"]

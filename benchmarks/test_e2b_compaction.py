@@ -1,0 +1,30 @@
+"""E2b (§3.1): compaction loses transitions without notification."""
+
+from conftest import run_once
+
+from repro.bench.experiments import e2b_compaction
+
+
+def test_e2b_compaction(benchmark):
+    result = run_once(benchmark, e2b_compaction.run, e2b_compaction.QUICK)
+    table = result.table("lag sweep")
+    window = e2b_compaction.QUICK["compaction_window"]
+
+    for lag in e2b_compaction.QUICK["lag_seconds"]:
+        pubsub = next(
+            r for r in table.rows
+            if r["system"] == "pubsub" and r["lag_s"] == lag
+        )
+        watch = next(
+            r for r in table.rows
+            if r["system"] == "watch" and r["lag_s"] == lag
+        )
+        if lag > window:
+            # compaction silently removed transitions from pubsub
+            assert pubsub["transitions_missed"] > 0
+            assert not pubsub["gap_signalled"]
+            # watch told the consumer it had a gap
+            assert watch["gap_signalled"]
+        else:
+            assert pubsub["transitions_missed"] == 0
+            assert watch["transitions_missed"] == 0

@@ -1,0 +1,51 @@
+"""E4 (§3.2.1): replication strategy spectrum."""
+
+from conftest import run_once
+
+from repro.bench.experiments import e4_replication
+
+
+def test_e4_replication_quick(benchmark):
+    result = run_once(benchmark, e4_replication.run, e4_replication.QUICK)
+    table = result.table("strategies")
+    serial = table.row_by("strategy", "serial")
+    versioned = table.row_by("strategy", "concurrent-version")
+    watch = table.row_by("strategy", "watch")
+
+    # serial: consistent but the bottleneck — it needs far longer to
+    # catch up than the concurrent strategies
+    assert serial["snapshot_violations"] == 0
+    assert serial["acl_violations"] == 0
+    assert serial["final_divergence"] == 0
+    assert serial["catchup_s"] > 2 * versioned["catchup_s"]
+    # version checks restore EC but not snapshot consistency
+    assert versioned["final_divergence"] == 0
+    assert versioned["snapshot_violations"] > 0
+    # watch: concurrent AND point-in-time consistent
+    assert watch["snapshot_violations"] == 0
+    assert watch["acl_violations"] == 0
+    assert watch["final_divergence"] == 0
+    assert watch["catchup_s"] < serial["catchup_s"]
+
+
+def test_e4_naive_and_partition_serial(benchmark):
+    """The remaining §3.2.1 rows: naive violates EC, partition-serial
+    tears cross-partition transactions."""
+    # the naive EC violations need real load: hot keys + deletes with
+    # enough concurrency for same-key events to be in flight together
+    params = dict(e4_replication.DEFAULTS)
+    params["strategies"] = ("concurrent-naive", "partition-serial")
+    params["duration"] = 30.0
+    params["drain"] = 10.0
+    result = run_once(benchmark, e4_replication.run, params)
+    table = result.table("strategies")
+    naive = table.row_by("strategy", "concurrent-naive")
+    partition = table.row_by("strategy", "partition-serial")
+
+    # naive reordering: stale overwrites / resurrections survive
+    assert naive["final_divergence"] > 0
+    assert naive["snapshot_violations"] > 0
+    # partition-serial: per-key order (EC holds) but the member/access
+    # anomaly — the paper's §3.2.1 example — appears at the target
+    assert partition["final_divergence"] == 0
+    assert partition["acl_violations"] > 0

@@ -1,0 +1,20 @@
+"""E5 (§3.2.3): ingestion head-of-line blocking."""
+
+from conftest import run_once
+
+from repro.bench.experiments import e5_ingestion
+
+
+def test_e5_ingestion(benchmark):
+    result = run_once(benchmark, e5_ingestion.run, e5_ingestion.QUICK)
+    table = result.table("pipelines")
+    pubsub = table.row_by("system", "pubsub")
+    watch = table.row_by("system", "watch")
+
+    # identical workloads: same events, same completed counts
+    assert pubsub["events"] == watch["events"]
+    assert pubsub["cheap_done"] == watch["cheap_done"]
+    # head-of-line blocking: cheap events pay for poison ones under
+    # pubsub FIFO; the watch consumer prioritizes around them
+    assert pubsub["cheap_p99_s"] > 5 * watch["cheap_p99_s"]
+    assert watch["cheap_p99_s"] < 2.0

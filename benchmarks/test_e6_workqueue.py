@@ -1,0 +1,32 @@
+"""E6 (§3.2.4/§4.3): affinitized, dynamically sharded work."""
+
+from conftest import run_once
+
+from repro.bench.experiments import e6_workqueue
+
+
+def test_e6_workqueue(benchmark):
+    result = run_once(benchmark, e6_workqueue.run, e6_workqueue.QUICK)
+    table = result.table("systems")
+    key_routed = table.row_by("system", "pubsub-key")
+    watch = table.row_by("system", "watch")
+
+    # everything completes in both systems (at-least-once + idempotent)
+    assert key_routed["all_done"]
+    assert watch["all_done"]
+    # watch + auto-sharding keeps state at least as warm as key-hash
+    # routing (which reshuffled wholesale at the churn point)
+    assert watch["warm_frac"] >= key_routed["warm_frac"] - 0.02
+    # and avoids head-of-line blocking behind poison tasks
+    assert watch["normal_p99_s"] < key_routed["normal_p99_s"]
+
+
+def test_e6_random_routing_thrashes(benchmark):
+    params = dict(e6_workqueue.QUICK)
+    params["systems"] = ("pubsub-random", "watch")
+    result = run_once(benchmark, e6_workqueue.run, params)
+    table = result.table("systems")
+    random_routed = table.row_by("system", "pubsub-random")
+    watch = table.row_by("system", "watch")
+    # without affinity the state cache is markedly colder
+    assert watch["warm_frac"] > random_routed["warm_frac"] + 0.05

@@ -1,0 +1,19 @@
+"""E6b (§4.3): VM provisioning — events vs reconciliation."""
+
+from conftest import run_once
+
+from repro.bench.experiments import e6b_reconcile
+
+
+def test_e6b_reconcile(benchmark):
+    result = run_once(benchmark, e6b_reconcile.run, e6b_reconcile.QUICK)
+    table = result.table("coordinators")
+    events = table.row_by("coordinator", "event-driven")
+    reconciler = table.row_by("coordinator", "watch-reconciler")
+
+    # the reconciler keeps the fleet far closer to the desired state
+    assert reconciler["avg_satisfied"] > events["avg_satisfied"]
+    assert reconciler["avg_satisfied"] > 0.9
+    # and wastes (almost) no actions on a stale view of the world
+    assert reconciler["misdirected_frac"] <= 0.02
+    assert events["misdirected_frac"] > reconciler["misdirected_frac"]

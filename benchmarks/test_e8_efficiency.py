@@ -1,0 +1,23 @@
+"""E8 (§4.4): write amplification vs recoverable soft state."""
+
+from conftest import run_once
+
+from repro.bench.experiments import e8_efficiency
+
+
+def test_e8_efficiency(benchmark):
+    result = run_once(benchmark, e8_efficiency.run, e8_efficiency.QUICK)
+    table = result.table("pipelines")
+    pubsub = table.row_by("system", "pubsub")
+    watch = table.row_by("system", "watch")
+
+    # pubsub wrote a second durable copy of everything (and then some)
+    assert pubsub["extra_durable_bytes"] > pubsub["store_bytes"]
+    assert pubsub["amplification"] > 1.5
+    # watch wrote zero extra durable bytes
+    assert watch["extra_durable_bytes"] == 0
+    # ... and its soft state is genuinely soft: it was destroyed
+    # mid-run and the consumer still ended complete
+    assert watch["wiped_mid_run"]
+    assert watch["consumer_complete"]
+    assert pubsub["consumer_complete"]  # fair baseline: no outage here

@@ -1,0 +1,17 @@
+"""E9 (Figure 3): all four storage x notification quadrants work."""
+
+from conftest import run_once
+
+from repro.bench.experiments import e9_quadrants
+
+
+def test_e9_quadrants(benchmark):
+    result = run_once(benchmark, e9_quadrants.run, e9_quadrants.QUICK)
+    table = result.table("quadrants")
+
+    assert len(table.rows) == 4
+    for row in table.rows:
+        assert row["events_seen"] > 0
+        assert row["mirror_complete"], row
+        assert row["progress_works"], row
+        assert row["resync_recovers"], row

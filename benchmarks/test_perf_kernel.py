@@ -1,0 +1,96 @@
+"""Simulator micro-benchmarks: the substrate everything runs on.
+
+Unlike the experiment benchmarks (single-shot, shape-asserting), these
+use pytest-benchmark's real timing loops to track the simulator's raw
+performance — the budget every experiment spends from.
+"""
+
+import pytest
+
+from repro._types import KeyRange, Mutation
+from repro.core.events import ChangeEvent
+from repro.core.watch_system import WatchSystem
+from repro.core.api import FnWatchCallback
+from repro.sim.kernel import Simulation, Timeout
+from repro.storage.kv import MVCCStore
+
+
+def test_kernel_event_dispatch(benchmark):
+    """Dispatch 50k scheduled callbacks."""
+
+    def run():
+        sim = Simulation(seed=1)
+        count = [0]
+        for i in range(50_000):
+            sim.call_at(i * 0.001, lambda: count.__setitem__(0, count[0] + 1))
+        sim.run()
+        return count[0]
+
+    assert benchmark(run) == 50_000
+
+
+def test_kernel_process_switching(benchmark):
+    """1k processes x 50 yields each."""
+
+    def run():
+        sim = Simulation(seed=1)
+        done = [0]
+
+        def proc():
+            for _ in range(50):
+                yield Timeout(0.01)
+            done[0] += 1
+
+        for _ in range(1_000):
+            sim.spawn(proc())
+        sim.run()
+        return done[0]
+
+    assert benchmark(run) == 1_000
+
+
+def test_mvcc_commit_throughput(benchmark):
+    """20k single-key commits with history fanout to one tailer."""
+
+    def run():
+        store = MVCCStore()
+        seen = [0]
+        store.history.tail(lambda c: seen.__setitem__(0, seen[0] + 1))
+        for i in range(20_000):
+            store.put(f"k{i % 100}", i)
+        return seen[0]
+
+    assert benchmark(run) == 20_000
+
+
+def test_mvcc_versioned_scan(benchmark):
+    """Range scans against a store with deep version chains."""
+    store = MVCCStore()
+    for i in range(20_000):
+        store.put(f"k{i % 200:04d}", i)
+    mid_version = store.last_version // 2
+
+    def run():
+        return sum(1 for _ in store.scan(KeyRange("k0050", "k0150"), mid_version))
+
+    assert benchmark(run) == 100
+
+
+def test_watch_system_ingest_fanout(benchmark):
+    """10k events fanned out to 20 watchers."""
+
+    def run():
+        sim = Simulation(seed=1)
+        ws = WatchSystem(sim)
+        counts = [0]
+        for _ in range(20):
+            ws.watch_range(
+                KeyRange.all(), 0,
+                FnWatchCallback(on_event=lambda e: counts.__setitem__(0, counts[0] + 1)),
+            )
+        for v in range(1, 10_001):
+            ws.append(ChangeEvent(f"k{v % 50}", Mutation.put(v), v))
+        sim.run()
+        return counts[0]
+
+    assert benchmark(run) == 200_000

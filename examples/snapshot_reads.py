@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Snapshot-consistent reads from a dynamically sharded cache — Figure 5.
+
+Three watchers with deliberately *overlapping* key ranges consume a
+store through a partitioned watch pipeline (per-range progress, skewed
+latencies — no watcher is ever globally fresh).  A client asks for
+snapshot reads over arbitrary ranges; the stitcher finds a version at
+which the union of the watchers' knowledge regions covers the query and
+assembles the answer from pieces — provably equal to the store's own
+snapshot at that version.
+
+This is a capability pubsub consumers cannot offer at any price: they
+have no way to know what they don't know.
+
+Run:  python examples/snapshot_reads.py
+"""
+
+from repro._types import KeyRange
+from repro.core.bridge import PartitionedIngestBridge, even_ranges
+from repro.core.linked_cache import LinkedCache, LinkedCacheConfig
+from repro.core.snapshotter import SnapshotStitcher
+from repro.core.watch_system import WatchSystem
+from repro.sim.kernel import Simulation
+from repro.storage.kv import MVCCStore
+from repro.workloads.generators import UniformKeys, WriteStream, key_universe
+
+
+def main() -> None:
+    sim = Simulation(seed=33)
+    store = MVCCStore(clock=sim.now)
+    ws = WatchSystem(sim)
+    PartitionedIngestBridge(
+        sim, store.history, ws, even_ranges(6),
+        base_latency=0.005, latency_stagger=0.01, progress_interval=0.25,
+    )
+
+    def snapshot_fn(key_range: KeyRange):
+        version = store.last_version
+        return version, dict(store.scan(key_range, version))
+
+    # overlapping watcher ranges (redundancy for availability, §4.3)
+    watcher_ranges = [
+        KeyRange("", "m"),
+        KeyRange("g", "t"),
+        KeyRange("n", "\U0010ffff"),
+    ]
+    caches = []
+    for idx, key_range in enumerate(watcher_ranges):
+        cache = LinkedCache(
+            sim, ws, snapshot_fn, key_range,
+            LinkedCacheConfig(snapshot_latency=0.02), name=f"watcher-{idx}",
+        )
+        caches.append(cache)
+        cache.start()
+
+    writer = WriteStream(
+        sim, store, UniformKeys(sim, key_universe(150)), rate=120.0,
+        value_fn=lambda n: n,
+    )
+    writer.start()
+    sim.run(until=10.0)
+
+    stitcher = SnapshotStitcher(caches)
+    print("Knowledge regions per watcher:")
+    for cache in caches:
+        regions = ", ".join(str(r) for r in cache.knowledge.regions[:4])
+        print(f"  {cache.name}: {regions}")
+
+    print("\nStitched snapshot reads (validated against the store):")
+    for low, high in [("a", "f"), ("e", "p"), ("a", "z")]:
+        query = KeyRange(low, high)
+        result = stitcher.stitch(query)
+        assert result is not None, f"unservable: {query}"
+        expected = dict(store.scan(query, result.version))
+        status = "EXACT MATCH" if result.items == expected else "MISMATCH!"
+        watchers = sorted({name for _, name in result.pieces})
+        print(
+            f"  [{low}, {high}): v{result.version}, {len(result.items)} keys, "
+            f"{result.piece_count} pieces from {watchers} -> {status}"
+        )
+        assert result.items == expected
+
+    head = store.last_version
+    chosen = stitcher.servable_version(KeyRange.all())
+    print(
+        f"\nStore head is v{head}; the fleet can serve a full-keyspace "
+        f"snapshot at v{chosen} (staleness {head - chosen} versions — "
+        f"bounded by the progress cadence, §4.2.2)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,28 @@
+#!/usr/bin/env python3
+"""Run every experiment at DEFAULTS sizing and print all results.
+
+Used to regenerate the measured sections of EXPERIMENTS.md:
+
+    python scripts/run_all_experiments.py > experiments_output.txt
+"""
+
+import time
+
+from repro.bench import experiments
+
+
+def main() -> None:
+    for experiment_id in experiments.all_ids():
+        module = experiments.get(experiment_id)
+        started = time.time()
+        result = module.run(**module.DEFAULTS)
+        elapsed = time.time() - started
+        print(result.render())
+        print(f"(wall time: {elapsed:.1f}s)")
+        print()
+        print("=" * 72)
+        print()
+
+
+if __name__ == "__main__":
+    main()

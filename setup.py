@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The canonical metadata lives in pyproject.toml.  This file exists so the
+package can be installed editable (``pip install -e .``) in offline
+environments that lack the ``wheel`` package required by PEP 660
+editable builds (pip falls back to ``setup.py develop``).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,51 @@
+"""repro: reproduction of "Understanding the limitations of pubsub
+systems" (Adya, Bogle, Meek — HotOS 2025).
+
+The library contains both systems the paper reasons about, built on a
+deterministic discrete-event simulator:
+
+- the **pubsub baseline** (:mod:`repro.pubsub`): topics, partitions,
+  consumer groups and free consumers, retention GC, compaction,
+  dead-letter queues, replay — with the silent-loss and affinity
+  limitations of §3 faithfully present;
+- the **proposed model** (:mod:`repro.core`): explicit storage
+  (:mod:`repro.storage`) plus the watch contracts of §4.2 —
+  ``Watchable``/``WatchCallback``/``Ingester`` — a standalone watch
+  system, knowledge regions, linked caches, and snapshot stitching;
+- the **use-case substrates** both are evaluated on: CDC
+  (:mod:`repro.cdc`), auto-sharding (:mod:`repro.sharding`),
+  distributed caching (:mod:`repro.cache`), cross-store replication
+  (:mod:`repro.replication`), and work queueing / reconciliation
+  (:mod:`repro.workqueue`).
+
+Start with ``examples/quickstart.py``; the experiment suite that
+reproduces every figure/claim of the paper lives in
+:mod:`repro.bench.experiments` with pytest harnesses in
+``benchmarks/``.  See DESIGN.md for the claim-to-experiment map and
+EXPERIMENTS.md for paper-vs-measured results.
+"""
+
+from repro._types import (
+    Key,
+    KeyRange,
+    KEY_MAX,
+    KEY_MIN,
+    Mutation,
+    MutationKind,
+    Version,
+    VERSION_ZERO,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Key",
+    "KeyRange",
+    "KEY_MAX",
+    "KEY_MIN",
+    "Mutation",
+    "MutationKind",
+    "Version",
+    "VERSION_ZERO",
+    "__version__",
+]

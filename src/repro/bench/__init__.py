@@ -1,0 +1,13 @@
+"""Experiment harness: one module per paper claim/figure.
+
+``repro.bench.runner`` provides result containers and table/series
+printing; ``repro.bench.experiments`` contains E1–E9 (see DESIGN.md §4
+for the claim map).  Each experiment module exposes ``run(...)``
+returning an :class:`~repro.bench.runner.ExperimentResult`, plus a
+``DEFAULTS`` dict sized for interactive runs and a ``QUICK`` dict sized
+for CI/pytest-benchmark.
+"""
+
+from repro.bench.runner import ExperimentResult, Table, print_result
+
+__all__ = ["ExperimentResult", "Table", "print_result"]

@@ -1,0 +1,69 @@
+"""Command-line experiment runner.
+
+Usage::
+
+    python -m repro.bench            # list experiments
+    python -m repro.bench E3         # run E3 at DEFAULTS sizing
+    python -m repro.bench E3 --quick # run E3 at QUICK sizing
+    python -m repro.bench all        # run everything (DEFAULTS)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.bench import experiments
+from repro.bench.runner import print_result
+
+
+def _run_one(experiment_id: str, quick: bool) -> None:
+    module = experiments.get(experiment_id)
+    params = module.QUICK if quick else module.DEFAULTS
+    started = time.time()
+    result = module.run(**params)
+    elapsed = time.time() - started
+    print_result(result)
+    print(f"(wall time: {elapsed:.1f}s)")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Run the paper-reproduction experiments (E1-E9, A1-A4).",
+    )
+    parser.add_argument(
+        "experiment",
+        nargs="?",
+        help="experiment id (e.g. E3), or 'all'; omit to list",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="use the QUICK (CI-sized) parameters",
+    )
+    args = parser.parse_args(argv)
+
+    ids = experiments.all_ids()
+    if args.experiment is None:
+        print("available experiments:")
+        for experiment_id in ids:
+            module = experiments.get(experiment_id)
+            first_line = (module.__doc__ or "").strip().splitlines()[0]
+            print(f"  {experiment_id:4s} {first_line}")
+        return 0
+    if args.experiment == "all":
+        for experiment_id in ids:
+            _run_one(experiment_id, args.quick)
+            print("=" * 72)
+        return 0
+    if args.experiment not in ids:
+        print(f"unknown experiment {args.experiment!r}; known: {', '.join(ids)}",
+              file=sys.stderr)
+        return 2
+    _run_one(args.experiment, args.quick)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,40 @@
+"""Distributed caching: the §3.2.2 use case, both ways.
+
+The cache fleet is dynamically sharded by an auto-sharder (as modern
+caches are, §3.2.2).  Freshness is maintained either by:
+
+- a **pubsub invalidation pipeline** (:mod:`~repro.cache.invalidation`):
+  CDC publishes updates to a topic; cache nodes form a consumer group.
+  Modes reproduce the paper's spectrum — naive ack, ack-only-if-owner,
+  leases (correctness at an availability cost), free consumers (correct
+  but every node processes the full feed), and TTL fallback (bounded
+  staleness, extra load); the Figure 2 race lives here; or
+- a **watch pipeline** (:mod:`~repro.cache.watch_cache`): each node is
+  a set of linked caches over its assigned ranges; handoffs resync from
+  the store, so a reassigned key can never be left permanently stale.
+
+:class:`~repro.cache.cluster.CacheCluster` provides routing, probing,
+and the staleness audit used by experiment E3.
+"""
+
+from repro.cache.node import CacheEntry, CacheNode, CacheNodeConfig
+from repro.cache.cluster import CacheCluster, Prober, ProbeStats
+from repro.cache.invalidation import (
+    InvalidationMode,
+    PubsubCacheNode,
+    PubsubInvalidationPipeline,
+)
+from repro.cache.watch_cache import WatchCacheNode
+
+__all__ = [
+    "CacheEntry",
+    "CacheNode",
+    "CacheNodeConfig",
+    "CacheCluster",
+    "Prober",
+    "ProbeStats",
+    "InvalidationMode",
+    "PubsubCacheNode",
+    "PubsubInvalidationPipeline",
+    "WatchCacheNode",
+]

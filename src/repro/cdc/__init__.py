@@ -1,0 +1,13 @@
+"""Change data capture: producer store -> pubsub (the baseline wiring).
+
+"In pubsub-based replication, a change data capture (CDC) system
+publishes change events from producer storage, and consumers apply them
+to a target store" (§3.2.1).  This package is that glue for the
+*baseline* pipelines; the proposed model replaces it with the Ingester
+bridges in :mod:`repro.core.bridge`.
+"""
+
+from repro.cdc.capture import CdcCapture, ChangeRecord
+from repro.cdc.publisher import CdcPublisher
+
+__all__ = ["CdcCapture", "ChangeRecord", "CdcPublisher"]

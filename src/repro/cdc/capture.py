@@ -1,0 +1,96 @@
+"""CDC capture: turn a store's commit history into change records.
+
+The capture tails :class:`~repro.storage.history.ChangeHistory` and
+emits one :class:`ChangeRecord` per key write.  Records carry the
+source transaction version — the information a careful consumer *could*
+use for version checks (§3.2.1) — because real CDC systems (Debezium,
+DynamoDB streams, Spanner change streams) do expose it.  What the
+pubsub layer then does with ordering is the experiment's subject.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, List, Optional
+
+from repro._types import Key, Mutation, Version
+from repro.storage.history import ChangeHistory, CommittedTransaction
+
+
+@dataclass(frozen=True)
+class ChangeRecord:
+    """One captured key change.
+
+    ``txn_version`` is the source commit version; ``txn_size`` the
+    number of writes in the originating transaction (consumers that
+    want transactional apply need to regroup — pubsub does not preserve
+    boundaries across partitions, §3.2.1).
+    """
+
+    key: Key
+    mutation: Mutation
+    txn_version: Version
+    txn_index: int
+    txn_size: int
+
+    @property
+    def is_delete(self) -> bool:
+        return self.mutation.is_delete
+
+    @property
+    def value(self) -> Any:
+        return self.mutation.value
+
+
+RecordSink = Callable[[ChangeRecord], None]
+
+
+class CdcCapture:
+    """Tails a history, fanning each commit out as change records."""
+
+    def __init__(self, history: ChangeHistory, sink: RecordSink) -> None:
+        self._sink = sink
+        self.records_emitted = 0
+        self.commits_captured = 0
+        self._cancel = history.tail(self._on_commit)
+
+    def close(self) -> None:
+        self._cancel()
+
+    def _on_commit(self, commit: CommittedTransaction) -> None:
+        self.commits_captured += 1
+        size = len(commit.writes)
+        for index, (key, mutation) in enumerate(commit.writes):
+            self.records_emitted += 1
+            self._sink(
+                ChangeRecord(
+                    key=key,
+                    mutation=mutation,
+                    txn_version=commit.version,
+                    txn_index=index,
+                    txn_size=size,
+                )
+            )
+
+
+def replay_history(history: ChangeHistory, sink: RecordSink, since: Version = 0) -> int:
+    """Replay retained history through ``sink``; returns records emitted.
+
+    Raises :class:`~repro.storage.errors.HistoryTruncatedError` when the
+    requested start has been truncated (callers snapshot instead).
+    """
+    emitted = 0
+    for commit in history.since(since):
+        size = len(commit.writes)
+        for index, (key, mutation) in enumerate(commit.writes):
+            sink(
+                ChangeRecord(
+                    key=key,
+                    mutation=mutation,
+                    txn_version=commit.version,
+                    txn_index=index,
+                    txn_size=size,
+                )
+            )
+            emitted += 1
+    return emitted

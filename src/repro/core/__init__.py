@@ -1,0 +1,68 @@
+"""The paper's contribution: explicit storage with Watch (§4).
+
+This package implements the unbundled model the paper proposes in place
+of pubsub:
+
+- :mod:`~repro.core.api` — the watch contracts, transliterated from the
+  paper's §4.2 code listings: ``Watchable.watch(low, high, version,
+  callback)``, ``WatchCallback.on_event/on_progress/on_resync``, and the
+  ``Ingester`` interface (``append``/``progress``).
+- :mod:`~repro.core.events` — ``ChangeEvent{key, mutation, version}``
+  and range-scoped ``ProgressEvent{low, high, version}``.
+- :mod:`~repro.core.watch_system` — a standalone watch system (the
+  paper's unpublished *Snappy*, reimplemented from its contracts): soft
+  state only, bounded retention, per-watcher backlog limits with resync
+  signalling.
+- :mod:`~repro.core.store_watch` — built-in watch directly on a store
+  (the Spanner-change-streams / etcd quadrant of Figure 3).
+- :mod:`~repro.core.bridge` — connects a store's commit history to an
+  external watch system through ``Ingester``, including a *partitioned*
+  bridge whose range-scoped progress exercises §4.2.2.
+- :mod:`~repro.core.knowledge` — knowledge regions and their algebra
+  (Figure 5).
+- :mod:`~repro.core.linked_cache` — the consumer-side "linked cache"
+  ([2] in the paper): a materialized, versioned view that speaks the
+  watch protocol, applies events, tracks knowledge, and recovers via
+  the snapshot+resync protocol.
+- :mod:`~repro.core.snapshotter` — stitching snapshot-consistent reads
+  from knowledge regions, within and across watchers (Figure 5's green
+  box).
+"""
+
+from repro.core.events import ChangeEvent, ProgressEvent
+from repro.core.api import Watchable, WatchCallback, Cancellable, Ingester, FnWatchCallback
+from repro.core.knowledge import KnowledgeRegion, KnowledgeMap
+from repro.core.stream import WatcherSession, WatcherConfig
+from repro.core.watch_system import WatchSystem, WatchSystemConfig
+from repro.core.store_watch import StoreWatch
+from repro.core.bridge import DirectIngestBridge, PartitionedIngestBridge
+from repro.core.linked_cache import LinkedCache, LinkedCacheConfig, SnapshotUnavailable
+from repro.core.snapshotter import SnapshotStitcher, StitchResult
+from repro.core.relay import WatchRelay
+from repro.core.sharded_watch import ShardedWatchSystem
+
+__all__ = [
+    "ChangeEvent",
+    "ProgressEvent",
+    "Watchable",
+    "WatchCallback",
+    "FnWatchCallback",
+    "Cancellable",
+    "Ingester",
+    "KnowledgeRegion",
+    "KnowledgeMap",
+    "WatcherSession",
+    "WatcherConfig",
+    "WatchSystem",
+    "WatchSystemConfig",
+    "StoreWatch",
+    "DirectIngestBridge",
+    "PartitionedIngestBridge",
+    "LinkedCache",
+    "LinkedCacheConfig",
+    "SnapshotStitcher",
+    "StitchResult",
+    "SnapshotUnavailable",
+    "WatchRelay",
+    "ShardedWatchSystem",
+]

@@ -1,0 +1,133 @@
+"""Watch relays: linked caches that re-serve the watch protocol.
+
+§4.4 notes that "applications can choose between different watch
+systems optimized for different scale points, e.g. degree of fan out".
+A relay is the fan-out building block: it consumes a watch stream like
+any linked cache, and simultaneously *offers* the watch contract to a
+layer of downstream watchers — including serving their resync
+snapshots from its own materialized, versioned state, so the fan-out
+tree offloads both notification and snapshot traffic from the source.
+
+Correctness across the relay's own failures:
+
+- a relay resync means it *missed* upstream events; those can never be
+  replayed downstream.  After the relay re-snapshots at version v, it
+  raises its fan-out floor to v: downstream watchers that had not
+  already advanced past v are resynced, and their snapshot fetch —
+  served from the relay's fresh state — closes the gap.  No silent
+  loss at any level of the tree.
+- while the relay is mid-resync, downstream snapshot requests get
+  :class:`~repro.core.linked_cache.SnapshotUnavailable` and retry.
+
+Because the relay is itself a :class:`LinkedCache`, trees compose:
+a relay can watch another relay.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+from repro._types import Key, KeyRange, Version
+from repro.core.api import Cancellable, WatchCallback, Watchable
+from repro.core.events import ChangeEvent, ProgressEvent
+from repro.core.linked_cache import (
+    LinkedCache,
+    LinkedCacheConfig,
+    SnapshotUnavailable,
+)
+from repro.core.stream import WatcherConfig
+from repro.core.watch_system import WatchSystem, WatchSystemConfig
+from repro.sim.kernel import Simulation
+
+
+class WatchRelay(LinkedCache, Watchable):
+    """A linked cache that fans its stream out to downstream watchers."""
+
+    def __init__(
+        self,
+        sim: Simulation,
+        upstream,  # anything with watch_range (WatchSystem/StoreWatch/relay)
+        snapshot_fn,
+        key_range: KeyRange,
+        config: Optional[LinkedCacheConfig] = None,
+        fanout_config: Optional[WatchSystemConfig] = None,
+        name: str = "relay",
+    ) -> None:
+        super().__init__(sim, upstream, snapshot_fn, key_range, config, name)
+        self.fanout = WatchSystem(
+            sim, fanout_config, name=f"{name}-fanout"
+        )
+        self._synced_once = False
+
+    # ------------------------------------------------------------------
+    # upstream side: feed the fan-out as we apply
+
+    def on_event(self, event: ChangeEvent) -> None:
+        if self.state != "watching":
+            return
+        super().on_event(event)
+        self.fanout.append(event)
+
+    def on_progress(self, event: ProgressEvent) -> None:
+        if self.state != "watching":
+            return
+        super().on_progress(event)
+        overlap = self.key_range.intersect(event.key_range)
+        if overlap is not None:
+            self.fanout.progress(
+                ProgressEvent(overlap.low, overlap.high, event.version)
+            )
+
+    def _finish_sync(self, generation: int) -> None:
+        was_resync = self._synced_once
+        super()._finish_sync(generation)
+        if self.state != "watching":
+            return  # superseded/unavailable; a retry will come back here
+        if was_resync:
+            # we missed upstream events; downstream below our snapshot
+            # version can no longer be caught up from the stream
+            self.fanout.raise_floor(self.knowledge.max_known_version())
+        self._synced_once = True
+
+    # ------------------------------------------------------------------
+    # downstream side
+
+    def watch(
+        self, low: Key, high: Key, version: Version, callback: WatchCallback
+    ) -> Cancellable:
+        return self.fanout.watch(low, high, version, callback)
+
+    def watch_range(
+        self,
+        key_range: KeyRange,
+        version: Version,
+        callback: WatchCallback,
+        config: Optional[WatcherConfig] = None,
+        predicate=None,
+    ) -> Cancellable:
+        return self.fanout.watch_range(
+            key_range, version, callback, config, predicate=predicate
+        )
+
+    def snapshot_for_downstream(
+        self, key_range: KeyRange
+    ) -> Tuple[Version, Dict[Key, Any]]:
+        """Serve a resync snapshot from the relay's own state.
+
+        The snapshot is taken at the newest version the relay provably
+        knows for the requested range (knowledge regions), so it is as
+        correct as a store snapshot, just possibly staler — which §4.2.1
+        explicitly allows ("it is acceptable to read a stale snapshot").
+        """
+        if self.state != "watching":
+            raise SnapshotUnavailable(f"relay {self.name} is {self.state}")
+        version = self.knowledge.best_snapshot_version(key_range)
+        if version is None:
+            raise SnapshotUnavailable(
+                f"relay {self.name} has no complete knowledge of {key_range}"
+            )
+        return version, self.data.items_at(key_range, version)
+
+    @property
+    def downstream_watchers(self) -> int:
+        return self.fanout.active_watchers

@@ -1,0 +1,193 @@
+"""Per-watcher delivery sessions.
+
+Both watch implementations (built-in :class:`~repro.core.store_watch.
+StoreWatch` and external :class:`~repro.core.watch_system.WatchSystem`)
+deliver through a :class:`WatcherSession`, which provides uniform:
+
+- FIFO delivery with configurable network latency and per-item consumer
+  service time (slow watchers are modeled here);
+- backlog accounting, and the §4.4 behaviour that distinguishes watch
+  from pubsub: when a watcher's backlog exceeds its bound, the session
+  **drops the queue and delivers a resync signal** instead of letting
+  the backlog grow without bound or silently losing data;
+- clean cancellation (a resync terminates the session; the client must
+  re-watch, per §4.2.1).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Optional, Tuple, Union
+
+from repro._types import KeyRange, Version
+from repro.core.api import Cancellable, WatchCallback
+from repro.core.events import ChangeEvent, ProgressEvent
+from repro.sim.kernel import Simulation
+
+
+@dataclass
+class WatcherConfig:
+    """Delivery parameters for one watch."""
+
+    delivery_latency: float = 0.001
+    #: Consumer-side processing time per delivered item (0 = instant).
+    service_time: float = 0.0
+    #: Queue length beyond which the session resyncs the watcher.
+    max_backlog: int = 10_000
+
+    def __post_init__(self) -> None:
+        if self.delivery_latency < 0 or self.service_time < 0:
+            raise ValueError("latency/service_time must be >= 0")
+        if self.max_backlog < 1:
+            raise ValueError("max_backlog must be >= 1")
+
+
+_RESYNC = "resync"
+_Item = Union[ChangeEvent, ProgressEvent, str]
+
+
+class WatcherSession(Cancellable):
+    """One active watch: range, position, delivery queue."""
+
+    def __init__(
+        self,
+        sim: Simulation,
+        key_range: KeyRange,
+        from_version: Version,
+        callback: WatchCallback,
+        config: WatcherConfig,
+        on_closed: Optional[Callable[["WatcherSession"], None]] = None,
+        predicate: Optional[Callable[[ChangeEvent], bool]] = None,
+    ) -> None:
+        self.sim = sim
+        self.key_range = key_range
+        self.from_version = from_version
+        self.callback = callback
+        self.config = config
+        self._on_closed = on_closed
+        #: optional server-side event filter (k8s-selector style); the
+        #: consumer receives only matching events.  Progress semantics
+        #: are unchanged: progress still means "all *matching* events
+        #: up to v supplied", which is exactly what a filtered
+        #: materialization needs.
+        self.predicate = predicate
+        self._queue: Deque[_Item] = deque()
+        self._draining = False
+        self._active = True
+        #: highest change-event version delivered (monotone per key by
+        #: producer contract; tracked for diagnostics/tests)
+        self.delivered_version: Version = from_version
+        self.events_delivered = 0
+        self.progress_delivered = 0
+        self.resyncs_signalled = 0
+        self.overflow_drops = 0
+
+    # ------------------------------------------------------------------
+    # Cancellable
+
+    @property
+    def active(self) -> bool:
+        return self._active
+
+    def cancel(self) -> None:
+        if not self._active:
+            return
+        self._active = False
+        self._queue.clear()
+        if self._on_closed is not None:
+            self._on_closed(self)
+
+    # ------------------------------------------------------------------
+    # producer side (watch implementations call these)
+
+    def offer_event(self, event: ChangeEvent) -> None:
+        """Enqueue a change event if it matches this watch."""
+        if not self._active:
+            return
+        if not self.key_range.contains(event.key):
+            return
+        if event.version <= self.from_version:
+            return
+        if self.predicate is not None and not self.predicate(event):
+            return
+        self._enqueue(event)
+
+    def offer_progress(self, progress: ProgressEvent) -> None:
+        """Enqueue the intersection of a progress event with our range."""
+        if not self._active:
+            return
+        overlap = self.key_range.intersect(progress.key_range)
+        if overlap is None:
+            return
+        self._enqueue(ProgressEvent(overlap.low, overlap.high, progress.version))
+
+    def signal_resync(self) -> None:
+        """Drop everything queued and deliver a resync.
+
+        Used on producer-side retention loss and on watcher backlog
+        overflow (§4.4 "send a resync signal to a consumer whenever its
+        backlog is excessive").
+        """
+        if not self._active:
+            return
+        self.overflow_drops += len(self._queue)
+        self._queue.clear()
+        self._enqueue(_RESYNC)
+
+    def _enqueue(self, item: _Item) -> None:
+        if item is not _RESYNC and len(self._queue) >= self.config.max_backlog:
+            self.signal_resync()
+            return
+        self._queue.append(item)
+        if not self._draining:
+            self._draining = True
+            self.sim.call_after(self.config.delivery_latency, self._drain_next)
+
+    # ------------------------------------------------------------------
+    # consumer side
+
+    def _drain_next(self) -> None:
+        # Iterative drain: with zero service time the whole queue is
+        # delivered in a loop (no recursion — queues can be large);
+        # with nonzero service time one item is delivered per step.
+        while True:
+            if not self._active or not self._queue:
+                self._draining = False
+                return
+            if self.config.service_time > 0:
+                item = self._queue.popleft()
+                self.sim.call_after(
+                    self.config.service_time, lambda item=item: self._deliver_then_continue(item)
+                )
+                return
+            self._deliver(self._queue.popleft())
+
+    def _deliver_then_continue(self, item: _Item) -> None:
+        self._deliver(item)
+        self._drain_next()
+
+    def _deliver(self, item: _Item) -> None:
+        if not self._active:
+            return
+        if item is _RESYNC:
+            self.resyncs_signalled += 1
+            # the session ends; the client must snapshot + re-watch
+            self._active = False
+            if self._on_closed is not None:
+                self._on_closed(self)
+            self.callback.on_resync()
+            return
+        if isinstance(item, ChangeEvent):
+            self.events_delivered += 1
+            if item.version > self.delivered_version:
+                self.delivered_version = item.version
+            self.callback.on_event(item)
+        else:
+            self.progress_delivered += 1
+            self.callback.on_progress(item)
+
+    @property
+    def backlog(self) -> int:
+        """Items queued but not yet delivered."""
+        return len(self._queue)

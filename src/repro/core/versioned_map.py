@@ -1,0 +1,139 @@
+"""A small client-side MVCC map.
+
+Watch clients (linked caches, replication appliers) materialize the
+stream into versioned state so they can serve reads *at a version* —
+the capability knowledge regions promise.  :class:`VersionedMap` is the
+storage for that: per-key version chains with range reads at a version
+and pruning of old versions.
+
+This mirrors the server-side MVCC in ``repro.storage.kv`` but is kept
+separate on purpose: clients apply events they *received* (possibly a
+re-applied duplicate after redelivery), so appends are idempotent and
+tolerate equal versions, unlike the store's strict commit order.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Any, Dict, Iterator, List, Optional, Tuple
+
+from repro._types import Key, KeyRange, Mutation, Version
+
+
+class VersionedMap:
+    """Per-key version chains with snapshot reads and pruning."""
+
+    def __init__(self) -> None:
+        self._versions: Dict[Key, List[Version]] = {}
+        self._mutations: Dict[Key, List[Mutation]] = {}
+        self._sorted_keys: List[Key] = []
+
+    def clear(self) -> None:
+        self._versions.clear()
+        self._mutations.clear()
+        self._sorted_keys.clear()
+
+    # ------------------------------------------------------------------
+    # writes
+
+    def apply(self, key: Key, mutation: Mutation, version: Version) -> None:
+        """Record ``key -> mutation`` at ``version``.
+
+        Idempotent: re-applying the same (key, version) replaces rather
+        than duplicates.  Out-of-order versions for a key are inserted
+        in place (needed by concurrent replication appliers).
+        """
+        versions = self._versions.get(key)
+        if versions is None:
+            self._versions[key] = [version]
+            self._mutations[key] = [mutation]
+            bisect.insort(self._sorted_keys, key)
+            return
+        idx = bisect.bisect_left(versions, version)
+        if idx < len(versions) and versions[idx] == version:
+            self._mutations[key][idx] = mutation
+        else:
+            versions.insert(idx, version)
+            self._mutations[key].insert(idx, mutation)
+
+    def load_snapshot(self, items: Dict[Key, Any], version: Version) -> None:
+        """Replace all state with a snapshot's items at ``version``."""
+        self.clear()
+        for key, value in items.items():
+            self.apply(key, Mutation.put(value), version)
+
+    def prune_below(self, version: Version) -> int:
+        """Drop versions strictly below ``version``, keeping the newest
+        at-or-below it per key; returns versions dropped."""
+        dropped = 0
+        for key in list(self._versions):
+            versions = self._versions[key]
+            idx = bisect.bisect_right(versions, version) - 1
+            if idx > 0:
+                del versions[:idx]
+                del self._mutations[key][:idx]
+                dropped += idx
+        return dropped
+
+    # ------------------------------------------------------------------
+    # reads
+
+    def get_at(self, key: Key, version: Version) -> Optional[Any]:
+        """Value visible at ``version`` (None if absent or deleted)."""
+        versions = self._versions.get(key)
+        if not versions:
+            return None
+        idx = bisect.bisect_right(versions, version) - 1
+        if idx < 0:
+            return None
+        mutation = self._mutations[key][idx]
+        return None if mutation.is_delete else mutation.value
+
+    def get_latest(self, key: Key) -> Optional[Any]:
+        """Newest value (None if absent or last write was a delete)."""
+        mutations = self._mutations.get(key)
+        if not mutations:
+            return None
+        mutation = mutations[-1]
+        return None if mutation.is_delete else mutation.value
+
+    def latest_version(self, key: Key) -> Optional[Version]:
+        """Version of the newest write to ``key`` (None if never written)."""
+        versions = self._versions.get(key)
+        return versions[-1] if versions else None
+
+    def items_at(self, key_range: KeyRange, version: Version) -> Dict[Key, Any]:
+        """All live (key, value) in range at ``version``."""
+        out: Dict[Key, Any] = {}
+        for key in self._keys_in(key_range):
+            value = self.get_at(key, version)
+            if value is not None:
+                out[key] = value
+        return out
+
+    def items_latest(self, key_range: KeyRange = KeyRange.all()) -> Dict[Key, Any]:
+        """All live (key, value) in range at the newest versions."""
+        out: Dict[Key, Any] = {}
+        for key in self._keys_in(key_range):
+            value = self.get_latest(key)
+            if value is not None:
+                out[key] = value
+        return out
+
+    def _keys_in(self, key_range: KeyRange) -> Iterator[Key]:
+        lo = bisect.bisect_left(self._sorted_keys, key_range.low)
+        hi = bisect.bisect_left(self._sorted_keys, key_range.high)
+        return iter(self._sorted_keys[lo:hi])
+
+    def keys(self) -> Tuple[Key, ...]:
+        return tuple(self._sorted_keys)
+
+    def version_count(self) -> int:
+        """Total retained versions across keys (memory accounting)."""
+        return sum(len(v) for v in self._versions.values())
+
+    def __len__(self) -> int:
+        return len(self._sorted_keys)
+
+    def __contains__(self, key: Key) -> bool:
+        return key in self._versions

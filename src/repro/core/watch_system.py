@@ -1,0 +1,232 @@
+"""A standalone watch system — the paper's *Snappy*, from its contracts.
+
+The watch system sits between a store and its watchers (Figure 4):
+
+- the store (or a bridge tailing its history) feeds it change events
+  and range-scoped progress events through the :class:`Ingester`
+  interface (§4.2.2);
+- watchers attach through :class:`Watchable` and receive events,
+  progress, and resync signals (§4.2.1).
+
+Everything here is **soft state** (§4.2.2): a bounded in-memory buffer
+of recent events plus per-range progress marks.  Two behaviours follow,
+both central to the paper's argument:
+
+- *bounded retention with notification*: when a watcher asks to start
+  below the retained floor — or falls so far behind that its start
+  position is evicted — it receives ``on_resync`` and recovers from a
+  store snapshot.  Nothing is ever lost silently (contrast §3.1).
+- *deletability*: :meth:`wipe` destroys all soft state at any moment;
+  every watcher is resynced and the system rebuilds from the store
+  "at the expense of some increased latency or staleness, but there is
+  no data or consistency loss" (§4.2.2).  Experiment E8 exercises this.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Optional
+
+from repro._types import Key, KeyRange, Version, VERSION_ZERO
+from repro.core.api import Cancellable, Ingester, Watchable, WatchCallback
+from repro.core.events import ChangeEvent, ProgressEvent
+from repro.core.stream import WatcherConfig, WatcherSession
+from repro.sim.kernel import Simulation
+from repro.sim.metrics import MetricsRegistry
+
+
+@dataclass
+class WatchSystemConfig:
+    """Soft-state sizing and default delivery parameters."""
+
+    #: Maximum buffered change events; the oldest are evicted beyond
+    #: this, raising the retained floor.
+    max_buffered_events: int = 100_000
+    watcher_defaults: WatcherConfig = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.max_buffered_events < 1:
+            raise ValueError("max_buffered_events must be >= 1")
+        if self.watcher_defaults is None:
+            self.watcher_defaults = WatcherConfig()
+
+
+class WatchSystem(Watchable, Ingester):
+    """Soft-state fan-out layer between a store and many watchers."""
+
+    def __init__(
+        self,
+        sim: Simulation,
+        config: Optional[WatchSystemConfig] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        name: str = "watchsys",
+    ) -> None:
+        self.sim = sim
+        self.config = config or WatchSystemConfig()
+        self.metrics = metrics or MetricsRegistry()
+        self.name = name
+        #: buffered events in ingest order (version order within any
+        #: one ingest range, by the Ingester contract)
+        self._buffer: Deque[ChangeEvent] = deque()
+        #: versions <= this may have been evicted from the buffer (or
+        #: never ingested, for the pre-start window)
+        self._floor: Version = VERSION_ZERO
+        #: latest progress mark per exact ingested range
+        self._progress_marks: Dict[KeyRange, Version] = {}
+        self._sessions: List[WatcherSession] = []
+        self.soft_state_peak_events = 0
+        self.events_ingested = 0
+        self.events_evicted = 0
+        self.wipes = 0
+
+    # ------------------------------------------------------------------
+    # Ingester (the store feeds us)
+
+    def append(self, event: ChangeEvent) -> None:
+        self.events_ingested += 1
+        self._buffer.append(event)
+        if len(self._buffer) > self.soft_state_peak_events:
+            self.soft_state_peak_events = len(self._buffer)
+        for session in list(self._sessions):
+            session.offer_event(event)
+        while len(self._buffer) > self.config.max_buffered_events:
+            evicted = self._buffer.popleft()
+            self.events_evicted += 1
+            if evicted.version > self._floor:
+                self._floor = evicted.version
+
+    def progress(self, event: ProgressEvent) -> None:
+        key_range = event.key_range
+        previous = self._progress_marks.get(key_range, VERSION_ZERO)
+        if event.version < previous:
+            return  # stale duplicate from the store side
+        self._progress_marks[key_range] = event.version
+        for session in list(self._sessions):
+            session.offer_progress(event)
+
+    # ------------------------------------------------------------------
+    # Watchable (consumers watch us)
+
+    def watch(
+        self, low: Key, high: Key, version: Version, callback: WatchCallback
+    ) -> Cancellable:
+        """Start a watch on ``[low, high)`` from ``version``.
+
+        If ``version`` is below the retained floor, the watcher cannot
+        be caught up from soft state: it receives an immediate resync
+        (it should snapshot the store and re-watch — see
+        :class:`~repro.core.linked_cache.LinkedCache`).
+        """
+        key_range = KeyRange(low, high)
+        session = WatcherSession(
+            sim=self.sim,
+            key_range=key_range,
+            from_version=version,
+            callback=callback,
+            config=self.config.watcher_defaults,
+            on_closed=self._session_closed,
+        )
+        self._sessions.append(session)
+        self.metrics.counter(f"watch.{self.name}.watches").inc()
+        if version < self._floor:
+            self.metrics.counter(f"watch.{self.name}.resyncs").inc()
+            session.signal_resync()
+            return session
+        # catch up from the retained buffer, then replay current
+        # progress marks so knowledge windows open without waiting for
+        # the next store-side progress tick
+        for event in self._buffer:
+            session.offer_event(event)
+        for mark_range, mark_version in self._progress_marks.items():
+            session.offer_progress(ProgressEvent(mark_range.low, mark_range.high, mark_version))
+        return session
+
+    def watch_range(
+        self, key_range: KeyRange, version: Version, callback: WatchCallback,
+        config: Optional[WatcherConfig] = None,
+        predicate=None,
+    ) -> Cancellable:
+        """Like :meth:`watch` with a KeyRange, optional per-watch
+        delivery configuration (slow watcher modeling), and an optional
+        server-side event ``predicate`` (selector-style filtering)."""
+        session = WatcherSession(
+            sim=self.sim,
+            key_range=key_range,
+            from_version=version,
+            callback=callback,
+            config=config or self.config.watcher_defaults,
+            on_closed=self._session_closed,
+            predicate=predicate,
+        )
+        self._sessions.append(session)
+        self.metrics.counter(f"watch.{self.name}.watches").inc()
+        if version < self._floor:
+            self.metrics.counter(f"watch.{self.name}.resyncs").inc()
+            session.signal_resync()
+            return session
+        for event in self._buffer:
+            session.offer_event(event)
+        for mark_range, mark_version in self._progress_marks.items():
+            session.offer_progress(ProgressEvent(mark_range.low, mark_range.high, mark_version))
+        return session
+
+    def _session_closed(self, session: WatcherSession) -> None:
+        if session in self._sessions:
+            self._sessions.remove(session)
+
+    # ------------------------------------------------------------------
+    # soft-state management
+
+    def wipe(self) -> None:
+        """Destroy all soft state (§4.2.2: recoverable by design).
+
+        Buffer, progress marks, and the floor are discarded; the floor
+        jumps to the highest version ever seen so any watcher position
+        is stale; every active watcher is resynced.
+        """
+        self.wipes += 1
+        highest = max((e.version for e in self._buffer), default=self._floor)
+        for mark_version in self._progress_marks.values():
+            if mark_version > highest:
+                highest = mark_version
+        self._buffer.clear()
+        self._progress_marks.clear()
+        self._floor = highest
+        for session in list(self._sessions):
+            session.signal_resync()
+
+    def raise_floor(self, version: Version) -> None:
+        """Declare history at or below ``version`` unservable.
+
+        Used by relays after their own resync: the events they missed
+        upstream can never be replayed downstream, so any watcher that
+        has not already advanced past ``version`` must resync.  Buffered
+        events at or below the new floor are dropped.
+        """
+        if version <= self._floor:
+            return
+        self._floor = version
+        while self._buffer and self._buffer[0].version <= version:
+            self._buffer.popleft()
+            self.events_evicted += 1
+        for session in list(self._sessions):
+            if session.delivered_version < version:
+                session.signal_resync()
+
+    @property
+    def retained_floor(self) -> Version:
+        """Watch positions must be >= this to avoid a resync."""
+        return self._floor
+
+    @property
+    def buffered_events(self) -> int:
+        return len(self._buffer)
+
+    @property
+    def active_watchers(self) -> int:
+        return len(self._sessions)
+
+    def soft_state_bytes(self) -> int:
+        """Current soft-state footprint (E8: this is *not* hard state)."""
+        return sum(event.size() for event in self._buffer)

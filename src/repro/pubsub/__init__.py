@@ -1,0 +1,57 @@
+"""The pubsub baseline: a complete datacenter-style pubsub system.
+
+This package implements the system the paper critiques (Figure 1), with
+the contracts shared by Kafka / Cloud Pub/Sub / Pulsar / Service Bus:
+
+- topics split into partitions, each an append-only offset log
+  (:mod:`~repro.pubsub.log`);
+- producers publish with optional keys; key- or round-robin
+  partitioning (:mod:`~repro.pubsub.topic`);
+- *consumer groups* that distribute messages among members (random,
+  partition-affine, or key-affine routing) with per-message acks and
+  at-least-once redelivery (:mod:`~repro.pubsub.consumer`,
+  :mod:`~repro.pubsub.subscription`);
+- *free consumers* that receive every message of a topic;
+- bounded retention with background garbage collection that deletes old
+  messages **whether or not they were consumed, without notifying
+  consumers** — deliberately, because that is the behaviour of real
+  systems and the crux of §3.1;
+- topic compaction (keep a recent window of every version, and the
+  latest version per key before it) — §3.1;
+- dead-letter queues (:mod:`~repro.pubsub.dlq`) and replay/seek
+  (:mod:`~repro.pubsub.replay`) — the "ad hoc storage APIs" of §3.3.
+
+Everything runs on the shared simulation kernel so backlogs of days can
+be produced deterministically.
+"""
+
+from repro.pubsub.errors import PubsubError, UnknownTopicError, OffsetOutOfRangeError
+from repro.pubsub.message import Message
+from repro.pubsub.log import PartitionLog, RetentionPolicy, CompactionPolicy
+from repro.pubsub.topic import Topic, Partitioner
+from repro.pubsub.broker import Broker, BrokerConfig
+from repro.pubsub.subscription import Subscription, RoutingPolicy
+from repro.pubsub.consumer import Consumer, ConsumerGroup, FreeConsumer
+from repro.pubsub.dlq import DeadLetterPolicy
+from repro.pubsub.replay import SeekTarget
+
+__all__ = [
+    "PubsubError",
+    "UnknownTopicError",
+    "OffsetOutOfRangeError",
+    "Message",
+    "PartitionLog",
+    "RetentionPolicy",
+    "CompactionPolicy",
+    "Topic",
+    "Partitioner",
+    "Broker",
+    "BrokerConfig",
+    "Subscription",
+    "RoutingPolicy",
+    "Consumer",
+    "ConsumerGroup",
+    "FreeConsumer",
+    "DeadLetterPolicy",
+    "SeekTarget",
+]

@@ -1,0 +1,202 @@
+"""The broker: topics, publishing, subscriptions, background GC.
+
+The broker is the control plane of the pubsub baseline: it owns topics,
+fans published messages out to subscriptions, and runs the periodic
+retention-GC and compaction sweeps whose silent deletions are the crux
+of §3.1.  It also aggregates the hard-state accounting (bytes appended
+to partition logs) used by the §4.4 efficiency experiment: every byte
+written here is a *second* durable copy of data the producer store
+already persisted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from repro.pubsub.consumer import Consumer, ConsumerGroup, FreeConsumer
+from repro.pubsub.dlq import DeadLetterPolicy
+from repro.pubsub.errors import PubsubError, UnknownTopicError
+from repro.pubsub.log import CompactionPolicy, RetentionPolicy
+from repro.pubsub.message import Message
+from repro.pubsub.subscription import RoutingPolicy, Subscription, SubscriptionConfig
+from repro.pubsub.topic import Topic
+from repro.sim.kernel import Simulation
+from repro.sim.metrics import MetricsRegistry
+
+
+@dataclass
+class BrokerConfig:
+    """Broker-wide parameters."""
+
+    gc_interval: float = 60.0
+    compaction_interval: float = 300.0
+    publish_latency: float = 0.0005
+
+    def __post_init__(self) -> None:
+        if self.gc_interval <= 0 or self.compaction_interval <= 0:
+            raise ValueError("sweep intervals must be positive")
+        if self.publish_latency < 0:
+            raise ValueError("publish_latency must be >= 0")
+
+
+class Broker:
+    """In-process pubsub broker running on the simulation kernel."""
+
+    def __init__(
+        self,
+        sim: Simulation,
+        config: BrokerConfig = BrokerConfig(),
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.sim = sim
+        self.config = config
+        self.metrics = metrics or MetricsRegistry()
+        self._topics: Dict[str, Topic] = {}
+        self._subscriptions: Dict[str, List[Subscription]] = {}
+        self._sweeps_started = False
+
+    # ------------------------------------------------------------------
+    # topics
+
+    def create_topic(
+        self,
+        name: str,
+        num_partitions: int = 1,
+        retention: RetentionPolicy = RetentionPolicy(),
+        compaction: Optional[CompactionPolicy] = None,
+    ) -> Topic:
+        """Create a topic; starts background sweeps on first topic."""
+        if name in self._topics:
+            raise PubsubError(f"topic {name!r} already exists")
+        topic = Topic(
+            name,
+            num_partitions=num_partitions,
+            retention=retention,
+            compaction=compaction,
+            clock=self.sim.now,
+        )
+        self._topics[name] = topic
+        self._subscriptions[name] = []
+        if not self._sweeps_started:
+            self._sweeps_started = True
+            self.sim.call_after(self.config.gc_interval, self._gc_sweep)
+            self.sim.call_after(self.config.compaction_interval, self._compaction_sweep)
+        return topic
+
+    def topic(self, name: str) -> Topic:
+        topic = self._topics.get(name)
+        if topic is None:
+            raise UnknownTopicError(name)
+        return topic
+
+    def topics(self) -> List[str]:
+        return sorted(self._topics)
+
+    # ------------------------------------------------------------------
+    # publishing
+
+    def publish(self, topic_name: str, key: Optional[str], payload: Any) -> Message:
+        """Append to the topic and wake subscriptions after the publish
+        latency.  Returns the stored message (offset assigned)."""
+        topic = self.topic(topic_name)
+        message = topic.append(key, payload)
+        self.metrics.counter("pubsub.published").inc()
+
+        def wake() -> None:
+            for subscription in self._subscriptions[topic_name]:
+                subscription.pump(message.partition)
+
+        if self.config.publish_latency > 0:
+            self.sim.call_after(self.config.publish_latency, wake)
+        else:
+            wake()
+        return message
+
+    # ------------------------------------------------------------------
+    # subscriptions
+
+    def subscribe(
+        self,
+        topic_name: str,
+        subscription_name: str,
+        config: Optional[SubscriptionConfig] = None,
+    ) -> Subscription:
+        """Create a subscription on a topic."""
+        topic = self.topic(topic_name)
+        config = config or SubscriptionConfig()
+        dlq_append = None
+        if config.dead_letter is not None:
+            dlq_topic_name = config.dead_letter.dlq_topic
+            if dlq_topic_name not in self._topics:
+                self.create_topic(dlq_topic_name)
+
+            def dlq_append(message: Message, _name: str = dlq_topic_name) -> None:
+                self.publish(_name, message.key, message.payload)
+                self.metrics.counter("pubsub.dead_lettered").inc()
+
+        subscription = Subscription(
+            self.sim,
+            subscription_name,
+            topic,
+            config=config,
+            metrics=self.metrics,
+            dlq_append=dlq_append,
+        )
+        self._subscriptions[topic_name].append(subscription)
+        return subscription
+
+    def consumer_group(
+        self,
+        topic_name: str,
+        group_name: str,
+        config: Optional[SubscriptionConfig] = None,
+    ) -> ConsumerGroup:
+        """Create a consumer-group subscription wrapper."""
+        return ConsumerGroup(self.subscribe(topic_name, group_name, config))
+
+    def free_consumer(
+        self,
+        topic_name: str,
+        consumer: Consumer,
+        config: Optional[SubscriptionConfig] = None,
+    ) -> FreeConsumer:
+        """Attach ``consumer`` as a free consumer: it gets every message
+        of the topic on a dedicated subscription."""
+        config = config or SubscriptionConfig(routing=RoutingPolicy.RANDOM)
+        subscription = self.subscribe(topic_name, f"free:{consumer.name}", config)
+        return FreeConsumer(subscription, consumer)
+
+    def subscriptions(self, topic_name: str) -> List[Subscription]:
+        return list(self._subscriptions.get(topic_name, ()))
+
+    # ------------------------------------------------------------------
+    # background sweeps
+
+    def _gc_sweep(self) -> None:
+        deleted = sum(topic.run_gc() for topic in self._topics.values())
+        if deleted:
+            self.metrics.counter("pubsub.gc.deleted").inc(deleted)
+        self.sim.call_after(self.config.gc_interval, self._gc_sweep)
+
+    def _compaction_sweep(self) -> None:
+        deleted = sum(topic.run_compaction() for topic in self._topics.values())
+        if deleted:
+            self.metrics.counter("pubsub.compaction.deleted").inc(deleted)
+        self.sim.call_after(self.config.compaction_interval, self._compaction_sweep)
+
+    # ------------------------------------------------------------------
+    # accounting
+
+    @property
+    def hard_state_bytes(self) -> int:
+        """Durable bytes appended across all topics (§4.4 efficiency)."""
+        return sum(topic.bytes_written for topic in self._topics.values())
+
+    def total_backlog(self) -> int:
+        """Sum of backlogs across all subscriptions of all topics."""
+        return sum(
+            subscription.backlog()
+            for subs in self._subscriptions.values()
+            for subscription in subs
+        )

@@ -1,0 +1,26 @@
+"""Dead-letter queues (§3.3).
+
+The paper lists DLQs among the "specialized extensions" pubsub systems
+grew because the bundled storage layer keeps needing patches.  We
+implement them faithfully: after ``max_attempts`` failed delivery
+attempts, the message is appended to a dead-letter topic and counted as
+handled for the source subscription — which means the *application*
+outcome (the message was never processed) is hidden behind an
+operational artifact someone must remember to drain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DeadLetterPolicy:
+    """Route messages to ``dlq_topic`` after ``max_attempts`` attempts."""
+
+    dlq_topic: str
+    max_attempts: int = 5
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")

@@ -1,0 +1,30 @@
+"""Pubsub-layer exceptions."""
+
+from __future__ import annotations
+
+
+class PubsubError(RuntimeError):
+    """Base class for pubsub errors."""
+
+
+class UnknownTopicError(PubsubError):
+    """Publish or subscribe against a topic that does not exist."""
+
+    def __init__(self, topic: str) -> None:
+        super().__init__(f"unknown topic {topic!r}")
+        self.topic = topic
+
+
+class OffsetOutOfRangeError(PubsubError):
+    """A reader asked for an offset below the log's GC floor.
+
+    Note the asymmetry the paper highlights: this error surfaces only on
+    explicit offset reads (replay/seek, §3.3).  The normal consumer path
+    silently skips GC'd messages, because that is what deployed systems
+    do — the consumer is never told (§3.1).
+    """
+
+    def __init__(self, requested: int, floor: int) -> None:
+        super().__init__(f"offset {requested} below GC floor {floor}")
+        self.requested = requested
+        self.floor = floor

@@ -1,0 +1,347 @@
+"""Subscriptions: cursors, routing, acks, redelivery, silent loss.
+
+A subscription binds a topic to a set of member consumers and owns the
+delivery state machine:
+
+- a *fetch cursor* per partition (next offset to dispatch);
+- an in-flight map per partition with per-message ack deadlines; an
+  unacked message is redelivered after the deadline (at-least-once);
+- a routing policy choosing a member per message (§2): ``RANDOM``,
+  ``PARTITION`` (partitions assigned to members, Kafka-style), or
+  ``KEY`` (hash of message key over current membership);
+- optional dead-lettering after ``max_attempts`` (§3.3);
+- **silent-loss accounting**: when the fetch cursor lands in a gap left
+  by retention GC or compaction, the subscription simply skips ahead —
+  the consumer receives no signal (§3.1).  The gap is tallied in
+  ``lost_to_gc`` / ``lost_to_compaction`` so *experiments* can measure
+  what the *application* cannot observe.
+
+Routing deliberately knows nothing about any external auto-sharder:
+"existing pubsub consumer affinity mechanisms based on the message key
+or pubsub partition do not support independent, dynamic sharding of
+loosely-coupled application consumers" (§3.1).  That mismatch is what
+experiment E3 exploits to reproduce Figure 2.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional
+
+from repro.pubsub.dlq import DeadLetterPolicy
+from repro.pubsub.message import Message
+from repro.pubsub.topic import Topic
+from repro.sim.kernel import EventHandle, Simulation
+from repro.sim.metrics import MetricsRegistry
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.pubsub.consumer import Consumer
+
+
+class RoutingPolicy(enum.Enum):
+    """How a consumer group routes a message to a member (§2)."""
+
+    RANDOM = "random"
+    PARTITION = "partition"
+    KEY = "key"
+
+
+@dataclass
+class SubscriptionConfig:
+    """Delivery parameters."""
+
+    routing: RoutingPolicy = RoutingPolicy.PARTITION
+    max_inflight_per_partition: int = 64
+    ack_timeout: float = 30.0
+    delivery_latency: float = 0.001
+    delivery_jitter: float = 0.0
+    dead_letter: Optional[DeadLetterPolicy] = None
+    #: Start consuming from the current end of the topic instead of 0.
+    start_at_end: bool = False
+
+    def __post_init__(self) -> None:
+        if self.max_inflight_per_partition < 1:
+            raise ValueError("max_inflight_per_partition must be >= 1")
+        if self.ack_timeout <= 0:
+            raise ValueError("ack_timeout must be positive")
+        if self.delivery_latency < 0 or self.delivery_jitter < 0:
+            raise ValueError("latency/jitter must be >= 0")
+
+
+@dataclass
+class _Inflight:
+    message: Message
+    member: str
+    attempts: int
+    deadline_handle: Optional[EventHandle] = None
+
+
+@dataclass
+class _PartitionState:
+    fetch_offset: int = 0
+    inflight: Dict[int, _Inflight] = field(default_factory=dict)
+    acked: int = 0  # count of acked messages (not an offset)
+
+
+def _stable_hash(key: str) -> int:
+    return int.from_bytes(hashlib.md5(key.encode("utf-8")).digest()[:8], "big")
+
+
+class Subscription:
+    """Delivery state machine for one consumer group (or free consumer)."""
+
+    def __init__(
+        self,
+        sim: Simulation,
+        name: str,
+        topic: Topic,
+        config: SubscriptionConfig = SubscriptionConfig(),
+        metrics: Optional[MetricsRegistry] = None,
+        dlq_append: Optional[Callable[[Message], None]] = None,
+    ) -> None:
+        self.sim = sim
+        self.name = name
+        self.topic = topic
+        self.config = config
+        self.metrics = metrics or MetricsRegistry()
+        self._dlq_append = dlq_append
+        self._members: Dict[str, "Consumer"] = {}
+        self._member_order: List[str] = []  # stable order for assignment
+        self._partition_assignment: Dict[int, str] = {}
+        self._state: Dict[int, _PartitionState] = {}
+        for log in topic.partitions:
+            start = log.next_offset if config.start_at_end else 0
+            self._state[log.partition] = _PartitionState(fetch_offset=start)
+        # silent-loss tallies (observable by experiments, not by members)
+        self.lost_to_gc = 0
+        self.lost_to_compaction = 0
+        self.delivered = 0
+        self.redelivered = 0
+        self.acked = 0
+        self.dead_lettered = 0
+        self._pump_scheduled: Dict[int, bool] = {p: False for p in self._state}
+
+    # ------------------------------------------------------------------
+    # membership
+
+    def add_member(self, consumer: "Consumer") -> None:
+        """Join a consumer to the group and rebalance."""
+        if consumer.name in self._members:
+            raise ValueError(f"member {consumer.name!r} already in {self.name!r}")
+        self._members[consumer.name] = consumer
+        self._member_order.append(consumer.name)
+        self._rebalance()
+        self.pump_all()
+
+    def remove_member(self, name: str) -> None:
+        """Remove a member; its in-flight messages redeliver on deadline."""
+        if name not in self._members:
+            return
+        del self._members[name]
+        self._member_order.remove(name)
+        self._rebalance()
+        self.pump_all()
+
+    def members(self) -> List[str]:
+        return list(self._member_order)
+
+    def _rebalance(self) -> None:
+        """Round-robin partitions over members (PARTITION routing)."""
+        self._partition_assignment.clear()
+        if not self._member_order:
+            return
+        for idx, partition in enumerate(sorted(self._state)):
+            member = self._member_order[idx % len(self._member_order)]
+            self._partition_assignment[partition] = member
+
+    def _up_members(self) -> List[str]:
+        return [m for m in self._member_order if self._members[m].up]
+
+    # ------------------------------------------------------------------
+    # routing
+
+    def _route(self, message: Message) -> Optional[str]:
+        """Pick the member for a message, or None if nobody can take it."""
+        up = self._up_members()
+        if not up:
+            return None
+        routing = self.config.routing
+        if routing is RoutingPolicy.PARTITION:
+            member = self._partition_assignment.get(message.partition)
+            if member is not None and self._members[member].up:
+                return member
+            # assigned member down: realistic groups failover after a
+            # rebalance; model that as deterministic fallback over up members
+            return up[message.partition % len(up)]
+        if routing is RoutingPolicy.KEY and message.key is not None:
+            return up[_stable_hash(message.key) % len(up)]
+        return up[self.sim.rng.randrange(len(up))]
+
+    # ------------------------------------------------------------------
+    # pumping
+
+    def pump_all(self) -> None:
+        """Schedule dispatch on every partition (cheap, idempotent)."""
+        for partition in self._state:
+            self.pump(partition)
+
+    def pump(self, partition: int) -> None:
+        if self._pump_scheduled.get(partition):
+            return
+        self._pump_scheduled[partition] = True
+        self.sim.call_after(0.0, lambda: self._do_pump(partition))
+
+    def _do_pump(self, partition: int) -> None:
+        self._pump_scheduled[partition] = False
+        state = self._state[partition]
+        log = self.topic.partitions[partition]
+        budget = self.config.max_inflight_per_partition - len(state.inflight)
+        if budget <= 0 or not self._up_members():
+            return
+        messages = log.read_from(state.fetch_offset, limit=budget)
+        if not messages and state.fetch_offset < log.gc_floor:
+            # everything between the cursor and the floor is gone
+            self._account_gap(state, log, log.gc_floor)
+            state.fetch_offset = log.gc_floor
+            return
+        for message in messages:
+            if message.offset > state.fetch_offset:
+                self._account_gap(state, log, message.offset)
+            state.fetch_offset = message.offset + 1
+            self._dispatch(partition, message, attempts=1)
+        if messages:
+            # more may be waiting beyond the budget
+            state_after = self._state[partition]
+            if state_after.fetch_offset < log.next_offset and len(
+                state_after.inflight
+            ) < self.config.max_inflight_per_partition:
+                self.pump(partition)
+
+    def _account_gap(self, state: _PartitionState, log, next_present: int) -> None:
+        """Attribute skipped offsets to GC or compaction — silently."""
+        gap = next_present - state.fetch_offset
+        if gap <= 0:
+            return
+        below_floor = max(0, min(next_present, log.gc_floor) - state.fetch_offset)
+        self.lost_to_gc += below_floor
+        self.lost_to_compaction += gap - below_floor
+        self.metrics.counter(f"pubsub.sub.{self.name}.lost").inc(gap)
+
+    def _dispatch(self, partition: int, message: Message, attempts: int) -> None:
+        state = self._state[partition]
+        member = self._route(message)
+        if member is None:
+            # nobody up; leave for redelivery wheel
+            inflight = _Inflight(message=message, member="", attempts=attempts)
+            state.inflight[message.offset] = inflight
+            self._arm_deadline(partition, inflight)
+            return
+        inflight = _Inflight(message=message, member=member, attempts=attempts)
+        state.inflight[message.offset] = inflight
+        self._arm_deadline(partition, inflight)
+        delay = self.config.delivery_latency
+        if self.config.delivery_jitter > 0:
+            delay += self.sim.rng.random() * self.config.delivery_jitter
+        consumer = self._members[member]
+        self.delivered += 1
+        if attempts > 1:
+            self.redelivered += 1
+        self.sim.call_after(
+            delay,
+            lambda: consumer.deliver(
+                message,
+                ack=lambda: self.ack(partition, message.offset),
+                nack=lambda: self.nack(partition, message.offset),
+            ),
+        )
+
+    def _arm_deadline(self, partition: int, inflight: _Inflight) -> None:
+        offset = inflight.message.offset
+        inflight.deadline_handle = self.sim.call_after(
+            self.config.ack_timeout,
+            lambda: self._on_deadline(partition, offset),
+        )
+
+    def _on_deadline(self, partition: int, offset: int) -> None:
+        state = self._state[partition]
+        inflight = state.inflight.get(offset)
+        if inflight is None:
+            return  # already acked
+        del state.inflight[offset]
+        if self._maybe_dead_letter(partition, inflight):
+            return
+        self._dispatch(partition, inflight.message, attempts=inflight.attempts + 1)
+
+    def _maybe_dead_letter(self, partition: int, inflight: _Inflight) -> bool:
+        """Route to the DLQ when attempts are exhausted; True if routed."""
+        dl = self.config.dead_letter
+        if dl is None or inflight.attempts < dl.max_attempts:
+            return False
+        self.dead_lettered += 1
+        if self._dlq_append is not None:
+            self._dlq_append(inflight.message)
+        self.pump(partition)
+        return True
+
+    # ------------------------------------------------------------------
+    # acks
+
+    def ack(self, partition: int, offset: int) -> None:
+        """Acknowledge one delivery; frees an in-flight slot."""
+        state = self._state[partition]
+        inflight = state.inflight.pop(offset, None)
+        if inflight is None:
+            return  # late ack after redelivery/dead-letter: ignore
+        if inflight.deadline_handle is not None:
+            inflight.deadline_handle.cancel()
+        state.acked += 1
+        self.acked += 1
+        self.pump(partition)
+
+    def nack(self, partition: int, offset: int) -> None:
+        """Negative ack: redeliver promptly instead of waiting (or
+        dead-letter once attempts are exhausted)."""
+        state = self._state[partition]
+        inflight = state.inflight.pop(offset, None)
+        if inflight is None:
+            return
+        if inflight.deadline_handle is not None:
+            inflight.deadline_handle.cancel()
+        if self._maybe_dead_letter(partition, inflight):
+            return
+        self._dispatch(partition, inflight.message, attempts=inflight.attempts + 1)
+
+    # ------------------------------------------------------------------
+    # introspection
+
+    def backlog(self, partition: Optional[int] = None) -> int:
+        """Messages published but not yet acked by this subscription.
+
+        This is what the paper means by a consumer's backlog: everything
+        between the group's progress and the head of the topic,
+        *including* messages GC already deleted (the group does not know
+        they are gone).
+        """
+        partitions = [partition] if partition is not None else list(self._state)
+        total = 0
+        for p in partitions:
+            state = self._state[p]
+            log = self.topic.partitions[p]
+            total += (log.next_offset - state.fetch_offset) + len(state.inflight)
+        return total
+
+    def inflight_count(self) -> int:
+        return sum(len(s.inflight) for s in self._state.values())
+
+    def seek(self, partition: int, offset: int) -> None:
+        """Move the fetch cursor (replay support, §3.3).  In-flight
+        deliveries are dropped; deliveries restart from ``offset``."""
+        state = self._state[partition]
+        for inflight in state.inflight.values():
+            if inflight.deadline_handle is not None:
+                inflight.deadline_handle.cancel()
+        state.inflight.clear()
+        state.fetch_offset = offset
+        self.pump(partition)

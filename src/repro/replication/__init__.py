@@ -1,0 +1,45 @@
+"""Replication across stores: §3.2.1 strategies and their failures.
+
+The source of truth is an :class:`~repro.storage.kv.MVCCStore`; the
+target is a :class:`~repro.replication.target.ReplicaStore` whose every
+externalized state is fingerprint-checked against the source's history
+(:mod:`~repro.replication.checker`).  The paper's §3.2.1 strategy
+spectrum maps to applier classes (:mod:`~repro.replication.appliers`):
+
+==========================  ======================  =========================
+strategy                    scalability             consistency
+==========================  ======================  =========================
+serial transactions         1 worker (bottleneck)   point-in-time consistent
+concurrent, naive           N workers               violates eventual cons.
+concurrent + version checks N workers               EC, snapshot anomalies
+partition-serial            1 worker per partition  EC, snapshot anomalies
+                                                    (cross-partition txns)
+watch + progress barrier    N range watchers        point-in-time consistent
+==========================  ======================  =========================
+
+The last row is :class:`~repro.replication.watch_replicator.
+WatchReplicator` — §4.3's claim that progress events let replicas apply
+concurrently *and* externalize only states that existed at the source.
+"""
+
+from repro.replication.target import ReplicaStore
+from repro.replication.checker import SnapshotChecker, AclInvariantChecker, state_fingerprint
+from repro.replication.appliers import (
+    SerialTxnApplier,
+    ConcurrentApplier,
+    VersionCheckedApplier,
+    PartitionSerialApplier,
+)
+from repro.replication.watch_replicator import WatchReplicator
+
+__all__ = [
+    "ReplicaStore",
+    "SnapshotChecker",
+    "AclInvariantChecker",
+    "state_fingerprint",
+    "SerialTxnApplier",
+    "ConcurrentApplier",
+    "VersionCheckedApplier",
+    "PartitionSerialApplier",
+    "WatchReplicator",
+]

@@ -1,0 +1,209 @@
+"""Pubsub-based replication appliers: the §3.2.1 strategy spectrum.
+
+All appliers consume the CDC topic and apply to a
+:class:`~repro.replication.target.ReplicaStore`; they differ exactly
+along the axes the paper describes.  Per-record service time is
+identical across appliers, so throughput differences come only from
+available concurrency — the paper's trade: "the serial approach is not
+scalable; to avoid a scale bottleneck we need to *concurrently* publish
+and apply change events.  But we can't simply apply change events in an
+arbitrary order."
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro._types import Mutation, MutationKind
+from repro.pubsub.broker import Broker
+from repro.pubsub.consumer import Consumer
+from repro.pubsub.message import Message
+from repro.pubsub.subscription import RoutingPolicy, SubscriptionConfig
+from repro.replication.target import ReplicaStore
+from repro.sim.kernel import Simulation
+
+
+def _mutation_of(message: Message) -> Mutation:
+    payload = message.payload
+    if payload["op"] == "delete":
+        return Mutation.delete()
+    return Mutation.put(payload["value"])
+
+
+class _ApplierBase:
+    """Shared wiring: a subscription plus worker consumers."""
+
+    def __init__(
+        self,
+        sim: Simulation,
+        broker: Broker,
+        topic: str,
+        target: ReplicaStore,
+        group_name: str,
+        routing: RoutingPolicy,
+        workers: int,
+        service_time: float,
+        ack_timeout: float = 5.0,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.sim = sim
+        self.target = target
+        self.records_seen = 0
+        self.group = broker.consumer_group(
+            topic,
+            group_name,
+            SubscriptionConfig(routing=routing, ack_timeout=ack_timeout),
+        )
+        self.consumers: List[Consumer] = []
+        for idx in range(workers):
+            consumer = Consumer(
+                sim,
+                f"{group_name}-w{idx}",
+                handler=self._handle,
+                service_time=service_time,
+            )
+            self.consumers.append(consumer)
+            self.group.join(consumer)
+
+    def _handle(self, message: Message) -> bool:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def backlog(self) -> int:
+        return self.group.backlog()
+
+
+class SerialTxnApplier(_ApplierBase):
+    """One worker; regroups records into transactions and applies each
+    atomically, in order.  Point-in-time consistent, unscalable.
+
+    Requires the CDC topic to have a single partition (global order)."""
+
+    def __init__(
+        self,
+        sim: Simulation,
+        broker: Broker,
+        topic: str,
+        target: ReplicaStore,
+        service_time: float = 0.001,
+    ) -> None:
+        if broker.topic(topic).num_partitions != 1:
+            raise ValueError("SerialTxnApplier requires a 1-partition topic")
+        super().__init__(
+            sim, broker, topic, target,
+            group_name="serial-applier",
+            routing=RoutingPolicy.PARTITION,
+            workers=1,
+            service_time=service_time,
+        )
+        self._pending: List[Tuple[str, Mutation]] = []
+        self.txns_applied = 0
+
+    def _handle(self, message: Message) -> bool:
+        payload = message.payload
+        self.records_seen += 1
+        self._pending.append((message.key, _mutation_of(message)))
+        if payload["txn_index"] == payload["txn_size"] - 1:
+            self.target.apply_txn(self._pending, payload["version"])
+            self._pending = []
+            self.txns_applied += 1
+        return True
+
+
+class ConcurrentApplier(_ApplierBase):
+    """N workers, arbitrary routing, naive last-arrival-wins apply.
+
+    Scales, but reordered updates overwrite with stale state and
+    reordered deletes resurrect rows (eventual-consistency violations)."""
+
+    def __init__(
+        self,
+        sim: Simulation,
+        broker: Broker,
+        topic: str,
+        target: ReplicaStore,
+        workers: int = 4,
+        service_time: float = 0.001,
+    ) -> None:
+        super().__init__(
+            sim, broker, topic, target,
+            group_name="concurrent-applier",
+            routing=RoutingPolicy.RANDOM,
+            workers=workers,
+            service_time=service_time,
+        )
+
+    def _handle(self, message: Message) -> bool:
+        self.records_seen += 1
+        self.target.apply_naive(
+            message.key, _mutation_of(message), message.payload["version"]
+        )
+        return True
+
+
+class VersionCheckedApplier(_ApplierBase):
+    """N workers with version checks and tombstones (§3.2.1's repair).
+
+    Eventually consistent, but snapshot anomalies remain: transactions
+    are torn across workers, so the target externalizes mixtures of
+    transactions that never coexisted at the source."""
+
+    def __init__(
+        self,
+        sim: Simulation,
+        broker: Broker,
+        topic: str,
+        target: ReplicaStore,
+        workers: int = 4,
+        service_time: float = 0.001,
+    ) -> None:
+        super().__init__(
+            sim, broker, topic, target,
+            group_name="versioned-applier",
+            routing=RoutingPolicy.RANDOM,
+            workers=workers,
+            service_time=service_time,
+        )
+
+    def _handle(self, message: Message) -> bool:
+        self.records_seen += 1
+        self.target.apply_versioned(
+            message.key, _mutation_of(message), message.payload["version"]
+        )
+        return True
+
+
+class PartitionSerialApplier(_ApplierBase):
+    """One worker per partition, keyed partitioning (§3.2.1 strategy 3).
+
+    Per-key order is preserved (no version checks needed for EC), but
+    "transactions affecting multiple partitions are not atomically
+    applied and the global transaction order of the source may be
+    violated" — snapshot anomalies remain."""
+
+    def __init__(
+        self,
+        sim: Simulation,
+        broker: Broker,
+        topic: str,
+        target: ReplicaStore,
+        service_time: float = 0.001,
+    ) -> None:
+        partitions = broker.topic(topic).num_partitions
+        super().__init__(
+            sim, broker, topic, target,
+            group_name="partition-serial-applier",
+            routing=RoutingPolicy.PARTITION,
+            workers=partitions,
+            service_time=service_time,
+        )
+
+    def _handle(self, message: Message) -> bool:
+        self.records_seen += 1
+        # per-key order is guaranteed by keyed partitioning + partition
+        # affinity, so a plain versioned apply never skips (belt and
+        # braces: keep the version check to stay safe under redelivery)
+        self.target.apply_versioned(
+            message.key, _mutation_of(message), message.payload["version"]
+        )
+        return True

@@ -1,0 +1,121 @@
+"""The replication target store.
+
+A flat key-value state with three apply disciplines, matching §3.2.1:
+
+- :meth:`apply_naive` — last-arrival-wins (what a consumer that just
+  applies events in delivery order does);
+- :meth:`apply_versioned` — version checks and tombstones: an apply is
+  dropped unless its version exceeds the key's current version, and
+  deletes leave a versioned tombstone so a reordered earlier insert
+  cannot resurrect the row;
+- :meth:`apply_txn` — atomic multi-key apply (used by the serial and
+  watch appliers, which reconstruct transaction boundaries).
+
+Every state transition notifies observers with an incrementally
+maintained XOR fingerprint so the snapshot checker is O(1) per write.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro._types import Key, Mutation, Version
+
+
+def _item_hash(key: Key, value: Any) -> int:
+    digest = hashlib.md5(f"{key!r}={value!r}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+StateObserver = Callable[["ReplicaStore"], None]
+
+
+class ReplicaStore:
+    """Target store with versioned apply and state fingerprinting."""
+
+    def __init__(self, name: str = "replica") -> None:
+        self.name = name
+        self._state: Dict[Key, Any] = {}
+        #: version of the last applied write per key, tombstones included
+        self._versions: Dict[Key, Version] = {}
+        self._fingerprint = 0
+        self._observers: List[StateObserver] = []
+        self.applies = 0
+        self.skipped_stale = 0
+
+    # ------------------------------------------------------------------
+    # apply disciplines
+
+    def apply_naive(self, key: Key, mutation: Mutation, version: Version) -> None:
+        """Apply in arrival order, no checks (the reordering hazard)."""
+        self._write(key, mutation)
+        self._versions[key] = version
+        self._notify()
+
+    def apply_versioned(self, key: Key, mutation: Mutation, version: Version) -> bool:
+        """Apply only if ``version`` is newer than the key's last write;
+        deletes leave a tombstone version.  Returns True if applied."""
+        if version <= self._versions.get(key, 0):
+            self.skipped_stale += 1
+            return False
+        self._write(key, mutation)
+        self._versions[key] = version
+        self._notify()
+        return True
+
+    def apply_txn(self, writes: Sequence[Tuple[Key, Mutation]], version: Version) -> None:
+        """Atomically apply a whole transaction: one externalized state."""
+        for key, mutation in writes:
+            if version <= self._versions.get(key, 0):
+                self.skipped_stale += 1
+                continue
+            self._write(key, mutation)
+            self._versions[key] = version
+        self._notify()
+
+    def _write(self, key: Key, mutation: Mutation) -> None:
+        old = self._state.get(key, _ABSENT)
+        if old is not _ABSENT:
+            self._fingerprint ^= _item_hash(key, old)
+        if mutation.is_delete:
+            self._state.pop(key, None)
+        else:
+            self._state[key] = mutation.value
+            self._fingerprint ^= _item_hash(key, mutation.value)
+        self.applies += 1
+
+    def _notify(self) -> None:
+        for observer in self._observers:
+            observer(self)
+
+    # ------------------------------------------------------------------
+    # observation
+
+    def observe(self, observer: StateObserver) -> None:
+        """Called after every externalized state transition."""
+        self._observers.append(observer)
+
+    @property
+    def fingerprint(self) -> int:
+        """XOR fingerprint of the current visible state."""
+        return self._fingerprint
+
+    def get(self, key: Key) -> Optional[Any]:
+        return self._state.get(key)
+
+    def items(self) -> Dict[Key, Any]:
+        return dict(self._state)
+
+    def version_of(self, key: Key) -> Version:
+        return self._versions.get(key, 0)
+
+    def __len__(self) -> int:
+        return len(self._state)
+
+
+class _Absent:
+    __slots__ = ()
+
+
+_ABSENT = _Absent()

@@ -1,0 +1,30 @@
+"""Dynamic key-range auto-sharding (Slicer / Shard Manager stand-in).
+
+The paper leans on auto-sharders twice: as the mechanism modern caches
+use for "dynamic key range assignment ... better availability/balancing
+than static approaches" (§3.2.2, citing Slicer), and as the assignment
+layer for affinitized, dynamically sharded workers in the proposed
+model (§4.3).  This package provides:
+
+- :class:`~repro.sharding.assignment.Assignment` — a generation-stamped
+  partition of the keyspace over nodes;
+- :class:`~repro.sharding.autosharder.AutoSharder` — load- and
+  membership-driven reassignment with per-listener notification latency
+  (the delay that makes the Figure 2 race possible);
+- :class:`~repro.sharding.leases.LeaseManager` — the §3.2.2 mitigation:
+  at most one owner per range at any instant, at the cost of ownerless
+  windows during handoff (the availability tradeoff the paper notes).
+"""
+
+from repro.sharding.assignment import Assignment, Slice
+from repro.sharding.autosharder import AutoSharder, AutoSharderConfig
+from repro.sharding.leases import LeaseManager, Lease
+
+__all__ = [
+    "Assignment",
+    "Slice",
+    "AutoSharder",
+    "AutoSharderConfig",
+    "LeaseManager",
+    "Lease",
+]

@@ -1,0 +1,272 @@
+"""Discrete-event simulation kernel.
+
+The kernel drains a heap of timestamped events.  Two programming models
+are supported and freely mixed:
+
+``call_after(delay, fn)``
+    Schedule a plain callback.  Most infrastructure (broker delivery,
+    GC sweeps, sharder rebalances) uses callbacks.
+
+``spawn(generator)``
+    Run a *process*: a generator that yields :class:`Timeout` (sleep) or
+    :class:`Waiter` (block until signalled).  Workload drivers and
+    consumers read naturally as processes.
+
+The kernel is single-threaded and deterministic: events at equal times
+fire in scheduling order, and all randomness must come from
+:attr:`Simulation.rng`, which is seeded at construction.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator, Iterable, Optional
+
+from repro.sim.clock import VirtualClock
+
+
+class SimError(RuntimeError):
+    """Raised for kernel misuse (negative delays, run-after-close, ...)."""
+
+
+class ProcessExit(Exception):
+    """Yielded/raised to terminate a process early from within."""
+
+
+@dataclass(order=True)
+class _ScheduledEvent:
+    time: float
+    seq: int
+    fn: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class EventHandle:
+    """Handle returned by scheduling calls; supports cancellation."""
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: _ScheduledEvent) -> None:
+        self._event = event
+
+    def cancel(self) -> None:
+        """Prevent the event from firing (idempotent)."""
+        self._event.cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.cancelled
+
+    @property
+    def time(self) -> float:
+        return self._event.time
+
+
+class Timeout:
+    """Yielded by a process to sleep for ``delay`` virtual seconds."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, delay: float) -> None:
+        if delay < 0:
+            raise SimError(f"negative timeout {delay!r}")
+        self.delay = delay
+
+
+class Waiter:
+    """A one-shot signal a process can yield on.
+
+    A producer calls :meth:`fire` (optionally with a value); every
+    process currently waiting resumes with that value.  Processes that
+    yield a Waiter that has already fired resume immediately — this
+    makes the common "wait until condition X has happened at least
+    once" pattern race-free.
+    """
+
+    __slots__ = ("_sim", "_fired", "_value", "_waiting")
+
+    def __init__(self, sim: "Simulation") -> None:
+        self._sim = sim
+        self._fired = False
+        self._value: Any = None
+        self._waiting: list[Callable[[Any], None]] = []
+
+    @property
+    def fired(self) -> bool:
+        return self._fired
+
+    @property
+    def value(self) -> Any:
+        return self._value
+
+    def fire(self, value: Any = None) -> None:
+        """Signal the waiter; resumes all waiting processes this instant."""
+        if self._fired:
+            return
+        self._fired = True
+        self._value = value
+        waiting, self._waiting = self._waiting, []
+        for resume in waiting:
+            self._sim.call_after(0.0, lambda resume=resume: resume(value))
+
+    def _add_waiter(self, resume: Callable[[Any], None]) -> None:
+        if self._fired:
+            self._sim.call_after(0.0, lambda: resume(self._value))
+        else:
+            self._waiting.append(resume)
+
+
+Process = Generator[Any, Any, Any]
+
+
+class ProcessHandle:
+    """Handle to a spawned process."""
+
+    __slots__ = ("name", "done", "result", "error", "_gen", "_killed")
+
+    def __init__(self, gen: Process, name: str) -> None:
+        self.name = name
+        self.done = False
+        self.result: Any = None
+        self.error: Optional[BaseException] = None
+        self._gen = gen
+        self._killed = False
+
+    def kill(self) -> None:
+        """Stop the process at its next resumption point."""
+        self._killed = True
+
+
+class Simulation:
+    """The simulation: virtual clock + event heap + seeded RNG."""
+
+    def __init__(self, seed: int = 0, start: float = 0.0) -> None:
+        self.clock = VirtualClock(start)
+        self.rng = random.Random(seed)
+        self.seed = seed
+        self._heap: list[_ScheduledEvent] = []
+        self._seq = 0
+        self._running = False
+        self._processes: list[ProcessHandle] = []
+
+    # ------------------------------------------------------------------
+    # scheduling primitives
+
+    def now(self) -> float:
+        """Current virtual time."""
+        return self.clock.now()
+
+    def call_at(self, t: float, fn: Callable[[], None]) -> EventHandle:
+        """Schedule ``fn`` to run at absolute virtual time ``t``."""
+        if t < self.now():
+            raise SimError(f"cannot schedule in the past: {t} < {self.now()}")
+        event = _ScheduledEvent(time=t, seq=self._seq, fn=fn)
+        self._seq += 1
+        heapq.heappush(self._heap, event)
+        return EventHandle(event)
+
+    def call_after(self, delay: float, fn: Callable[[], None]) -> EventHandle:
+        """Schedule ``fn`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimError(f"negative delay {delay!r}")
+        return self.call_at(self.now() + delay, fn)
+
+    def waiter(self) -> Waiter:
+        """Create a new one-shot :class:`Waiter`."""
+        return Waiter(self)
+
+    # ------------------------------------------------------------------
+    # processes
+
+    def spawn(self, gen: Process, name: str = "proc") -> ProcessHandle:
+        """Start a generator process; it first runs at the current time."""
+        handle = ProcessHandle(gen, name)
+        self._processes.append(handle)
+        self.call_after(0.0, lambda: self._step_process(handle, None))
+        return handle
+
+    def _step_process(self, handle: ProcessHandle, send_value: Any) -> None:
+        if handle.done:
+            return
+        if handle._killed:
+            handle.done = True
+            handle._gen.close()
+            return
+        try:
+            yielded = handle._gen.send(send_value)
+        except StopIteration as stop:
+            handle.done = True
+            handle.result = stop.value
+            return
+        except ProcessExit:
+            handle.done = True
+            return
+        except BaseException as exc:  # surfaced at run() time
+            handle.done = True
+            handle.error = exc
+            raise
+        self._dispatch_yield(handle, yielded)
+
+    def _dispatch_yield(self, handle: ProcessHandle, yielded: Any) -> None:
+        if isinstance(yielded, Timeout):
+            self.call_after(yielded.delay, lambda: self._step_process(handle, None))
+        elif isinstance(yielded, Waiter):
+            yielded._add_waiter(lambda value: self._step_process(handle, value))
+        elif isinstance(yielded, (int, float)):
+            self.call_after(float(yielded), lambda: self._step_process(handle, None))
+        else:
+            handle.done = True
+            raise SimError(
+                f"process {handle.name!r} yielded unsupported value {yielded!r}; "
+                "yield a Timeout, Waiter, or a number of seconds"
+            )
+
+    # ------------------------------------------------------------------
+    # running
+
+    def run(self, until: Optional[float] = None, max_events: int = 50_000_000) -> float:
+        """Drain the event heap.
+
+        Runs until the heap is empty, or until virtual time would exceed
+        ``until`` (events strictly after ``until`` stay queued and the
+        clock is left at ``until``).  Returns the final virtual time.
+        ``max_events`` bounds runaway simulations.
+        """
+        if self._running:
+            raise SimError("run() is not reentrant")
+        self._running = True
+        try:
+            fired = 0
+            while self._heap:
+                event = self._heap[0]
+                if event.cancelled:
+                    heapq.heappop(self._heap)
+                    continue
+                if until is not None and event.time > until:
+                    break
+                heapq.heappop(self._heap)
+                self.clock.advance_to(event.time)
+                event.fn()
+                fired += 1
+                if fired > max_events:
+                    raise SimError(f"exceeded max_events={max_events}; runaway simulation?")
+            if until is not None and self.now() < until:
+                self.clock.advance_to(until)
+            return self.now()
+        finally:
+            self._running = False
+
+    def run_for(self, duration: float) -> float:
+        """Run for ``duration`` more virtual seconds."""
+        return self.run(until=self.now() + duration)
+
+    @property
+    def pending_events(self) -> int:
+        """Number of queued (non-cancelled) events."""
+        return sum(1 for e in self._heap if not e.cancelled)
+
+    def processes(self) -> Iterable[ProcessHandle]:
+        """All processes ever spawned (including finished ones)."""
+        return tuple(self._processes)

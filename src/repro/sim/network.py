@@ -1,0 +1,139 @@
+"""Network model for simulated nodes.
+
+Components register an :class:`Endpoint` with the :class:`Network` and
+messages are delivered via scheduled callbacks with configurable latency,
+jitter, loss, and reordering.  Delivery to a partitioned or crashed
+endpoint is dropped (counted in metrics).
+
+The pubsub broker, CDC publisher, watch system, cache nodes, and the
+auto-sharder's control plane all communicate through this layer, so the
+same latency/fault configuration applies uniformly to the baseline and
+the proposed system in every experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional, Set, Tuple
+
+from repro.sim.kernel import Simulation
+from repro.sim.metrics import MetricsRegistry
+
+
+@dataclass(frozen=True)
+class NetworkConfig:
+    """Latency and fault parameters for message delivery.
+
+    ``base_latency`` is the one-way delay; ``jitter`` adds a uniform
+    random extra in ``[0, jitter]`` (which also induces reordering when
+    nonzero); ``loss_rate`` drops messages independently at random.
+    """
+
+    base_latency: float = 0.001
+    jitter: float = 0.0
+    loss_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.base_latency < 0:
+            raise ValueError("base_latency must be >= 0")
+        if self.jitter < 0:
+            raise ValueError("jitter must be >= 0")
+        if not 0.0 <= self.loss_rate < 1.0:
+            raise ValueError("loss_rate must be in [0, 1)")
+
+
+class Endpoint:
+    """A named message receiver attached to the network."""
+
+    __slots__ = ("name", "handler", "up")
+
+    def __init__(self, name: str, handler: Callable[[str, Any], None]) -> None:
+        self.name = name
+        self.handler = handler
+        self.up = True
+
+
+class Network:
+    """Delivers messages between endpoints with latency and faults."""
+
+    def __init__(
+        self,
+        sim: Simulation,
+        config: NetworkConfig = NetworkConfig(),
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.sim = sim
+        self.config = config
+        self.metrics = metrics or MetricsRegistry()
+        self._endpoints: Dict[str, Endpoint] = {}
+        self._partitions: Set[Tuple[str, str]] = set()
+
+    # ------------------------------------------------------------------
+    # topology
+
+    def register(self, name: str, handler: Callable[[str, Any], None]) -> Endpoint:
+        """Attach a handler as endpoint ``name``; replaces any previous one."""
+        endpoint = Endpoint(name, handler)
+        self._endpoints[name] = endpoint
+        return endpoint
+
+    def unregister(self, name: str) -> None:
+        self._endpoints.pop(name, None)
+
+    def endpoint(self, name: str) -> Optional[Endpoint]:
+        return self._endpoints.get(name)
+
+    def set_up(self, name: str, up: bool) -> None:
+        """Mark an endpoint up/down (down endpoints drop all traffic)."""
+        ep = self._endpoints.get(name)
+        if ep is None:
+            raise KeyError(f"unknown endpoint {name!r}")
+        ep.up = up
+
+    def partition(self, a: str, b: str) -> None:
+        """Cut the link between ``a`` and ``b`` (both directions)."""
+        self._partitions.add((a, b))
+        self._partitions.add((b, a))
+
+    def heal(self, a: str, b: str) -> None:
+        """Restore the link between ``a`` and ``b``."""
+        self._partitions.discard((a, b))
+        self._partitions.discard((b, a))
+
+    def is_partitioned(self, a: str, b: str) -> bool:
+        return (a, b) in self._partitions
+
+    # ------------------------------------------------------------------
+    # delivery
+
+    def send(self, src: str, dst: str, payload: Any) -> bool:
+        """Send ``payload`` from ``src`` to ``dst``.
+
+        Returns True if the message was scheduled for delivery (it can
+        still be dropped at delivery time if the destination goes down
+        in flight).  Returns False if dropped immediately by loss or
+        partition — callers model retries themselves if they need them.
+        """
+        self.metrics.counter("net.sent").inc()
+        if self.is_partitioned(src, dst):
+            self.metrics.counter("net.dropped.partition").inc()
+            return False
+        if self.config.loss_rate > 0 and self.sim.rng.random() < self.config.loss_rate:
+            self.metrics.counter("net.dropped.loss").inc()
+            return False
+        delay = self.config.base_latency
+        if self.config.jitter > 0:
+            delay += self.sim.rng.random() * self.config.jitter
+        self.sim.call_after(delay, lambda: self._deliver(src, dst, payload))
+        return True
+
+    def _deliver(self, src: str, dst: str, payload: Any) -> None:
+        endpoint = self._endpoints.get(dst)
+        if endpoint is None or not endpoint.up:
+            self.metrics.counter("net.dropped.down").inc()
+            return
+        if self.is_partitioned(src, dst):
+            self.metrics.counter("net.dropped.partition").inc()
+            return
+        self.metrics.counter("net.delivered").inc()
+        endpoint.handler(src, payload)

@@ -1,0 +1,122 @@
+"""Read replicas: offloading resync snapshots from the primary.
+
+§4.2.1, on resync: "it is acceptable to read a stale snapshot, so we
+can optionally reduce load on the underlying storage by reading from a
+replica instead."  :class:`ReadReplica` is that replica: it follows the
+primary's commit history with a configurable apply lag and serves
+versioned snapshot reads of whatever prefix it has applied.
+
+The correctness subtlety this module exists to demonstrate (and test):
+a watcher that resyncs from a *stale* snapshot at version v simply
+re-watches from v — the watch stream replays the (v, now] suffix, so
+the staleness costs catch-up time, never consistency.
+
+The replica tracks ``snapshots_served`` and the primary counts its own
+(via the snapshot functions built with :func:`primary_snapshot_fn` /
+:func:`replica_snapshot_fn`), so experiment A4 can show the load shift.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro._types import Key, KeyRange, Version
+from repro.core.versioned_map import VersionedMap
+from repro.sim.kernel import Simulation
+from repro.storage.history import CommittedTransaction
+from repro.storage.kv import MVCCStore
+
+
+class ReadReplica:
+    """An asynchronously maintained, versioned copy of a primary store."""
+
+    def __init__(
+        self,
+        sim: Simulation,
+        primary: MVCCStore,
+        apply_lag: float = 0.5,
+        name: str = "replica",
+    ) -> None:
+        if apply_lag < 0:
+            raise ValueError("apply_lag must be >= 0")
+        self.sim = sim
+        self.primary = primary
+        self.apply_lag = apply_lag
+        self.name = name
+        self._data = VersionedMap()
+        self._applied_version: Version = 0
+        self.snapshots_served = 0
+        self.commits_applied = 0
+        # bootstrap from the primary's current state, then follow
+        bootstrap = primary.snapshot()
+        self._data.load_snapshot(bootstrap.items(), bootstrap.version)
+        self._applied_version = bootstrap.version
+        self._cancel = primary.history.tail(self._on_commit)
+
+    def close(self) -> None:
+        self._cancel()
+
+    # ------------------------------------------------------------------
+    # replication
+
+    def _on_commit(self, commit: CommittedTransaction) -> None:
+        def apply() -> None:
+            if commit.version <= self._applied_version:
+                return
+            for key, mutation in commit.writes:
+                self._data.apply(key, mutation, commit.version)
+            self._applied_version = commit.version
+            self.commits_applied += 1
+
+        if self.apply_lag > 0:
+            self.sim.call_after(self.apply_lag, apply)
+        else:
+            apply()
+
+    @property
+    def applied_version(self) -> Version:
+        """Newest primary version reflected here."""
+        return self._applied_version
+
+    def lag_versions(self) -> int:
+        """How many versions behind the primary this replica is."""
+        return max(0, self.primary.last_version - self._applied_version)
+
+    # ------------------------------------------------------------------
+    # reads
+
+    def get(self, key: Key) -> Optional[Any]:
+        """Read at the replica's applied version (stale but consistent)."""
+        return self._data.get_at(key, self._applied_version)
+
+    def snapshot_items(self, key_range: KeyRange = KeyRange.all()) -> Dict[Key, Any]:
+        """Materialized range snapshot at the applied version."""
+        return self._data.items_at(key_range, self._applied_version)
+
+    def serve_snapshot(self, key_range: KeyRange) -> Tuple[Version, Dict[Key, Any]]:
+        """The resync-snapshot entry point (counted for load accounting)."""
+        self.snapshots_served += 1
+        return self._applied_version, self.snapshot_items(key_range)
+
+
+class SnapshotCounter:
+    """Wraps a primary store's snapshot path so A4 can count its load."""
+
+    def __init__(self, store: MVCCStore) -> None:
+        self.store = store
+        self.snapshots_served = 0
+
+    def serve_snapshot(self, key_range: KeyRange) -> Tuple[Version, Dict[Key, Any]]:
+        self.snapshots_served += 1
+        version = self.store.last_version
+        return version, dict(self.store.scan(key_range, version))
+
+
+def primary_snapshot_fn(counter: SnapshotCounter) -> Callable:
+    """Snapshot function reading from the primary (counted)."""
+    return counter.serve_snapshot
+
+
+def replica_snapshot_fn(replica: ReadReplica) -> Callable:
+    """Snapshot function reading from a (stale) replica (counted)."""
+    return replica.serve_snapshot

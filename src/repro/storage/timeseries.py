@@ -1,0 +1,166 @@
+"""Ingestion store: the time-series-style store of §2 and §4.3.
+
+For event ingestion and fanout, the paper proposes that "the publisher
+exposes an ingestion store, e.g. a time-series database optimized for
+ingestion of events"; producers insert events, consumers watch key
+ranges and may query the store for state (§4.3).  This module provides
+that store:
+
+- events are appended under a series key (e.g. ``sensor/42``) and get a
+  monotonic version from the shared oracle, so the store is watchable
+  with exactly the same machinery as the MVCC store;
+- queries: by series-key range, by version window, and "recent events
+  for series" — the access patterns fraud-detection/alerting consumers
+  need;
+- bounded retention per store (old events age out *with an explicit,
+  queryable floor* — consumers can detect and handle truncation, unlike
+  pubsub GC).
+
+Each appended event is also a commit in ``history`` (key = series key,
+value = event), which is what the watch layers tail.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+
+from repro._types import Key, KeyRange, Mutation, Version
+from repro.storage.history import ChangeHistory, CommittedTransaction
+from repro.storage.tso import TimestampOracle
+
+
+@dataclass(frozen=True)
+class Event:
+    """One ingested event."""
+
+    series: Key
+    time: float
+    payload: Any
+    version: Version
+
+
+class IngestionStore:
+    """Append-optimized event store, watchable via its history."""
+
+    def __init__(
+        self,
+        tso: Optional[TimestampOracle] = None,
+        name: str = "ingest",
+        retention_events: Optional[int] = None,
+        history_retention_commits: Optional[int] = None,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        self.name = name
+        self.tso = tso or TimestampOracle()
+        self.history = ChangeHistory(retention_commits=history_retention_commits)
+        self._clock = clock or (lambda: 0.0)
+        self._retention_events = retention_events
+        self._events: List[Event] = []  # version order == append order
+        self._by_series: Dict[Key, List[Event]] = {}
+        self._series_sorted: List[Key] = []
+        self._evicted_below: Version = 0
+        self.bytes_written = 0
+
+    # ------------------------------------------------------------------
+    # ingestion
+
+    def append(self, series: Key, payload: Any, time: Optional[float] = None) -> Event:
+        """Ingest one event; returns it with its assigned version."""
+        version = self.tso.next()
+        event = Event(
+            series=series,
+            time=self._clock() if time is None else time,
+            payload=payload,
+            version=version,
+        )
+        self._events.append(event)
+        per_series = self._by_series.get(series)
+        if per_series is None:
+            per_series = []
+            self._by_series[series] = per_series
+            bisect.insort(self._series_sorted, series)
+        per_series.append(event)
+        self.bytes_written += len(series) + 16 + len(repr(payload))
+        self.history.append(
+            CommittedTransaction(
+                version=version,
+                writes=((series, Mutation.put(payload)),),
+                commit_time=event.time,
+            )
+        )
+        if self._retention_events is not None and len(self._events) > self._retention_events:
+            self._evict(len(self._events) - self._retention_events)
+        return event
+
+    def _evict(self, n: int) -> None:
+        evicted = self._events[:n]
+        del self._events[:n]
+        if evicted:
+            self._evicted_below = evicted[-1].version + 1
+        for event in evicted:
+            per_series = self._by_series.get(event.series)
+            if per_series and per_series[0].version == event.version:
+                per_series.pop(0)
+
+    # ------------------------------------------------------------------
+    # queries
+
+    @property
+    def last_version(self) -> Version:
+        return self.tso.last
+
+    @property
+    def retained_floor(self) -> Version:
+        """Versions >= this are fully retained (explicit, queryable —
+        contrast with pubsub GC, which is silent to consumers)."""
+        return self._evicted_below
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def events_since(self, version: Version) -> Iterator[Event]:
+        """Events with version strictly greater than ``version``."""
+        # events are in version order; binary search the boundary
+        lo, hi = 0, len(self._events)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._events[mid].version <= version:
+                lo = mid + 1
+            else:
+                hi = mid
+        return iter(self._events[lo:])
+
+    def series_events(
+        self, series: Key, since_version: Version = 0, limit: Optional[int] = None
+    ) -> List[Event]:
+        """Retained events of one series after ``since_version``."""
+        events = [e for e in self._by_series.get(series, ()) if e.version > since_version]
+        if limit is not None:
+            events = events[-limit:]
+        return events
+
+    def scan_series(self, key_range: KeyRange = KeyRange.all()) -> List[Key]:
+        """Series keys with retained events, in range, sorted."""
+        lo = bisect.bisect_left(self._series_sorted, key_range.low)
+        hi = bisect.bisect_left(self._series_sorted, key_range.high)
+        return [s for s in self._series_sorted[lo:hi] if self._by_series.get(s)]
+
+    def latest(self, series: Key) -> Optional[Event]:
+        """Most recent retained event of a series."""
+        events = self._by_series.get(series)
+        return events[-1] if events else None
+
+    def window(self, low_time: float, high_time: float) -> List[Event]:
+        """Retained events with ``low_time <= time < high_time``."""
+        return [e for e in self._events if low_time <= e.time < high_time]
+
+    def snapshot_latest(self, key_range: KeyRange = KeyRange.all()) -> Dict[Key, Any]:
+        """Latest payload per series in range (the resync snapshot)."""
+        out: Dict[Key, Any] = {}
+        for series in self.scan_series(key_range):
+            event = self.latest(series)
+            if event is not None:
+                out[series] = event.payload
+        return out

@@ -1,0 +1,111 @@
+"""Filtered views: hiding producer store internals (§4.1).
+
+The paper answers the "doesn't this expose my schema?" objection by
+having the producer expose *a filtered view* of derived values rather
+than raw tables.  :class:`FilteredView` implements that: a read-only
+projection of an :class:`~repro.storage.kv.MVCCStore` defined by
+
+- a key predicate (which keys are visible), and
+- a value projection (what consumers see for each visible key).
+
+The view is itself a change source: its ``history`` mirrors the base
+store's commits, restricted to visible keys and projected values, at the
+*same versions* — so anything that can watch a store (built-in watch,
+external watch system, CDC) can watch a view with identical semantics.
+Consumers can also snapshot/scan the view for resync.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Iterator, Optional, Tuple
+
+from repro._types import Key, KeyRange, Mutation, Version
+from repro.storage.history import ChangeHistory, CommittedTransaction
+from repro.storage.kv import MVCCStore
+
+KeyPredicate = Callable[[Key], bool]
+ValueProjection = Callable[[Key, Any], Any]
+
+
+def _identity_projection(key: Key, value: Any) -> Any:
+    return value
+
+
+class FilteredView:
+    """A read-only, watchable projection of a base store."""
+
+    def __init__(
+        self,
+        base: MVCCStore,
+        name: str = "view",
+        key_predicate: Optional[KeyPredicate] = None,
+        projection: Optional[ValueProjection] = None,
+        history_retention_commits: Optional[int] = None,
+    ) -> None:
+        self.base = base
+        self.name = name
+        self._predicate = key_predicate or (lambda key: True)
+        self._project = projection or _identity_projection
+        #: Commits visible through the view, at base-store versions.
+        self.history = ChangeHistory(retention_commits=history_retention_commits)
+        self._cancel_tail = base.history.tail(self._on_base_commit)
+
+    def close(self) -> None:
+        """Stop mirroring the base store."""
+        self._cancel_tail()
+
+    # ------------------------------------------------------------------
+    # change mirroring
+
+    def _on_base_commit(self, commit: CommittedTransaction) -> None:
+        visible: Dict[Key, Mutation] = {}
+        for key, mutation in commit.writes:
+            if not self._predicate(key):
+                continue
+            if mutation.is_delete:
+                visible[key] = mutation
+            else:
+                visible[key] = Mutation.put(self._project(key, mutation.value))
+        if visible:
+            self.history.append(
+                CommittedTransaction(
+                    version=commit.version,
+                    writes=tuple(visible.items()),
+                    commit_time=commit.commit_time,
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # reads (delegate to base with predicate+projection applied)
+
+    @property
+    def last_version(self) -> Version:
+        return self.base.last_version
+
+    def get(self, key: Key, version: Optional[Version] = None) -> Optional[Any]:
+        """Projected value of a visible key (None if hidden or absent)."""
+        if not self._predicate(key):
+            return None
+        value = self.base.get(key, version)
+        if value is None:
+            return None
+        return self._project(key, value)
+
+    def scan(
+        self, key_range: KeyRange = KeyRange.all(), version: Optional[Version] = None
+    ) -> Iterator[Tuple[Key, Any]]:
+        """Visible (key, projected value) pairs in range at version."""
+        for key, value in self.base.scan(key_range, version):
+            if self._predicate(key):
+                yield (key, self._project(key, value))
+
+    def count(
+        self, key_range: KeyRange = KeyRange.all(), version: Optional[Version] = None
+    ) -> int:
+        return sum(1 for _ in self.scan(key_range, version))
+
+    def snapshot_items(
+        self, key_range: KeyRange = KeyRange.all(), version: Optional[Version] = None
+    ) -> Dict[Key, Any]:
+        """Materialized snapshot of the view (for watcher resync)."""
+        return dict(self.scan(key_range, version))

@@ -1,0 +1,24 @@
+"""Workload generation for the experiments.
+
+Deterministic (seeded through the simulation RNG) generators for the
+key distributions, write streams, transactional patterns, and task
+streams the experiment suite uses.
+"""
+
+from repro.workloads.generators import (
+    key_universe,
+    UniformKeys,
+    ZipfKeys,
+    WriteStream,
+    AclWorkload,
+    TaskStream,
+)
+
+__all__ = [
+    "key_universe",
+    "UniformKeys",
+    "ZipfKeys",
+    "WriteStream",
+    "AclWorkload",
+    "TaskStream",
+]

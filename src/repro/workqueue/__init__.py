@@ -1,0 +1,41 @@
+"""Work queueing and balancing: §3.2.4 vs §4.3.
+
+Two ways to run a fleet of workers over a stream of keyed tasks:
+
+- :mod:`~repro.workqueue.pubsub_worker` — tasks as pubsub messages,
+  workers as a consumer group.  Affinity is whatever the routing policy
+  gives (key-hash over current membership), processing is FIFO per
+  worker (head-of-line blocking), and a worker cannot reprioritize what
+  the broker already queued.
+- :mod:`~repro.workqueue.watch_worker` — tasks as rows in a store,
+  workers dynamically sharded over key ranges by an auto-sharder, each
+  watching its ranges and choosing what to work on next ("the
+  application can then prioritize entities, fully mitigating
+  head-of-line blocking problems", §4.3).
+
+:mod:`~repro.workqueue.coordinator` is the paper's closing example: a
+VM-provisioning coordinator, event-driven (acting on the world as it
+was when the event was enqueued) vs a watch-based reconciler (acting on
+the world as it is).
+"""
+
+from repro.workqueue.tasks import Task, TaskStats
+from repro.workqueue.state_cache import StateCache
+from repro.workqueue.pubsub_worker import PubsubWorkerPool
+from repro.workqueue.watch_worker import WatchWorkerPool
+from repro.workqueue.coordinator import (
+    ProvisioningWorld,
+    EventDrivenCoordinator,
+    WatchReconciler,
+)
+
+__all__ = [
+    "Task",
+    "TaskStats",
+    "StateCache",
+    "PubsubWorkerPool",
+    "WatchWorkerPool",
+    "ProvisioningWorld",
+    "EventDrivenCoordinator",
+    "WatchReconciler",
+]

@@ -1,0 +1,22 @@
+"""Tests for the command-line experiment runner."""
+
+import pytest
+
+from repro.bench.__main__ import main
+
+
+class TestCli:
+    def test_listing(self, capsys):
+        assert main([]) == 0
+        out = capsys.readouterr().out
+        assert "E1" in out and "E9" in out and "A4" in out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["E99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_run_quick(self, capsys):
+        assert main(["E9", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "quadrants" in out
+        assert "wall time" in out

@@ -1,0 +1,26 @@
+"""Experiments are replayable: identical params → identical tables."""
+
+import pytest
+
+from repro.bench.experiments import e6b_reconcile, e9_quadrants
+
+
+def _rows(result):
+    return [tuple(sorted(row.items())) for table in result.tables for row in table.rows]
+
+
+def test_e9_replays_identically():
+    params = dict(num_keys=20, update_rate=20.0, duration=6.0, seed=97)
+    assert _rows(e9_quadrants.run(**params)) == _rows(e9_quadrants.run(**params))
+
+
+def test_e6b_replays_identically():
+    params = dict(num_vms=12, num_workloads=4, duration=15.0, settle=5.0, seed=79)
+    assert _rows(e6b_reconcile.run(**params)) == _rows(e6b_reconcile.run(**params))
+
+
+def test_seed_changes_outcomes():
+    base = dict(num_vms=12, num_workloads=4, duration=15.0, settle=5.0)
+    a = _rows(e6b_reconcile.run(seed=1, **base))
+    b = _rows(e6b_reconcile.run(seed=2, **base))
+    assert a != b

@@ -1,0 +1,35 @@
+"""Registry hygiene: every experiment module is well-formed."""
+
+import inspect
+
+import pytest
+
+from repro.bench import experiments
+
+
+@pytest.mark.parametrize("experiment_id", experiments.all_ids())
+def test_module_shape(experiment_id):
+    module = experiments.get(experiment_id)
+    assert callable(module.run)
+    assert isinstance(module.DEFAULTS, dict)
+    assert isinstance(module.QUICK, dict)
+    assert module.__doc__, f"{experiment_id} needs a claim docstring"
+    # every declared parameter set must be accepted by run()
+    signature = inspect.signature(module.run)
+    for params in (module.DEFAULTS, module.QUICK):
+        unknown = set(params) - set(signature.parameters)
+        assert not unknown, f"{experiment_id}: unknown params {unknown}"
+
+
+@pytest.mark.parametrize("experiment_id", experiments.all_ids())
+def test_quick_is_not_larger_than_defaults(experiment_id):
+    module = experiments.get(experiment_id)
+    if "duration" in module.DEFAULTS and "duration" in module.QUICK:
+        assert module.QUICK["duration"] <= module.DEFAULTS["duration"]
+
+
+def test_all_ids_stable():
+    ids = experiments.all_ids()
+    assert ids[:3] == ["E1", "E2", "E2b"]
+    assert "A4" in ids
+    assert len(ids) == len(set(ids))

@@ -1,0 +1,92 @@
+"""Smoke tests: every experiment module runs end-to-end at tiny scale.
+
+The benchmark suite runs the QUICK configurations with full assertions;
+these smoke tests use even smaller parameters so the whole experiment
+machinery stays covered by plain `pytest tests/`.
+"""
+
+import pytest
+
+from repro.bench.experiments import (
+    e1_fanout,
+    e2b_compaction,
+    e3_invalidation_race,
+    e5_ingestion,
+    e6b_reconcile,
+    e7_snapshot_stitch,
+    e8_efficiency,
+    e9_quadrants,
+)
+
+
+def test_e1_smoke():
+    result = e1_fanout.run(
+        fanouts=(1,), num_producers=2, publish_rate=50.0,
+        duration=3.0, drain=2.0,
+    )
+    assert all(result.table("fanout sweep").column("complete"))
+
+
+def test_e2b_smoke():
+    result = e2b_compaction.run(
+        lag_seconds=(150.0,), compaction_window=50.0, update_rate=5.0,
+        num_keys=10, duration=300.0,
+    )
+    rows = result.table("lag sweep").rows
+    pubsub = next(r for r in rows if r["system"] == "pubsub")
+    assert pubsub["transitions_missed"] > 0
+
+
+def test_e3_smoke():
+    result = e3_invalidation_race.run(
+        configs=("pubsub-naive", "watch"), num_nodes=2, num_keys=40,
+        update_rate=10.0, handoff_interval=0.5, duration=15.0, drain=8.0,
+        probe_rate=20.0,
+    )
+    table = result.table("configurations")
+    assert table.row_by("config", "watch")["perm_stale"] == 0
+
+
+def test_e5_smoke():
+    result = e5_ingestion.run(
+        event_rate=50.0, duration=8.0, drain=15.0, num_sensors=10,
+    )
+    table = result.table("pipelines")
+    assert (
+        table.row_by("system", "watch")["cheap_p99_s"]
+        <= table.row_by("system", "pubsub")["cheap_p99_s"]
+    )
+
+
+def test_e6b_smoke():
+    result = e6b_reconcile.run(
+        num_vms=15, num_workloads=5, duration=20.0, settle=10.0,
+    )
+    table = result.table("coordinators")
+    assert (
+        table.row_by("coordinator", "watch-reconciler")["avg_satisfied"]
+        >= table.row_by("coordinator", "event-driven")["avg_satisfied"]
+    )
+
+
+def test_e7_smoke():
+    result = e7_snapshot_stitch.run(
+        progress_intervals=(0.2,), num_watchers=2, num_keys=40,
+        update_rate=20.0, duration=8.0, queries=40,
+    )
+    row = result.table("progress cadence sweep").rows[0]
+    assert row["correct_stitches"]
+
+
+def test_e8_smoke():
+    result = e8_efficiency.run(
+        num_keys=40, update_rate=20.0, duration=8.0, drain=5.0,
+    )
+    table = result.table("pipelines")
+    assert table.row_by("system", "watch")["consumer_complete"]
+    assert table.row_by("system", "pubsub")["amplification"] > 1.0
+
+
+def test_e9_smoke():
+    result = e9_quadrants.run(num_keys=20, update_rate=20.0, duration=8.0)
+    assert all(result.table("quadrants").column("mirror_complete"))

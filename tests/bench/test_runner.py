@@ -1,0 +1,73 @@
+"""Tests for the experiment result containers and rendering."""
+
+import pytest
+
+from repro.bench.runner import ExperimentResult, Table, sparkline
+
+
+class TestTable:
+    def test_add_and_lookup(self):
+        table = Table("t", ["a", "b"])
+        table.add(a=1, b="x")
+        table.add(a=2, b="y")
+        assert table.column("a") == [1, 2]
+        assert table.row_by("b", "y")["a"] == 2
+
+    def test_unknown_column_rejected(self):
+        table = Table("t", ["a"])
+        with pytest.raises(KeyError):
+            table.add(nope=1)
+
+    def test_missing_row(self):
+        table = Table("t", ["a"])
+        with pytest.raises(KeyError):
+            table.row_by("a", 42)
+
+    def test_render_aligned(self):
+        table = Table("numbers", ["name", "value"])
+        table.add(name="x", value=1234567)
+        table.add(name="longer-name", value=0.00123)
+        out = table.render()
+        lines = out.splitlines()
+        assert lines[0] == "numbers"
+        assert "1,234,567" in out
+        assert "longer-name" in out
+
+    def test_render_bools(self):
+        table = Table("t", ["ok"])
+        table.add(ok=True)
+        table.add(ok=False)
+        out = table.render()
+        assert "yes" in out and "no" in out
+
+
+class TestExperimentResult:
+    def test_tables_by_title(self):
+        result = ExperimentResult("E0", "claim")
+        table = result.new_table("t1", ["a"])
+        assert result.table("t1") is table
+        with pytest.raises(KeyError):
+            result.table("missing")
+
+    def test_render_includes_everything(self):
+        result = ExperimentResult("E0 test", "the claim")
+        result.new_table("t1", ["a"]).add(a=1)
+        result.series["s"] = [(0.0, 1.0), (1.0, 2.0)]
+        result.notes.append("a note")
+        out = result.render()
+        assert "E0 test" in out
+        assert "the claim" in out
+        assert "a note" in out
+        assert "series s" in out
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == "(empty)"
+
+    def test_flat(self):
+        assert set(sparkline([(0, 5.0), (1, 5.0)])) == {"▁"}
+
+    def test_varies(self):
+        line = sparkline([(i, float(i)) for i in range(10)])
+        assert line[0] != line[-1]

@@ -1,0 +1,18 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.kernel import Simulation
+
+
+@pytest.fixture
+def sim() -> Simulation:
+    """A fresh deterministic simulation."""
+    return Simulation(seed=1234)
+
+
+def make_sim(seed: int = 1234) -> Simulation:
+    """Factory for tests needing several simulations."""
+    return Simulation(seed=seed)

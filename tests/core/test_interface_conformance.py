@@ -1,0 +1,71 @@
+"""The §4.2 contracts are real ABCs and everything claims them honestly."""
+
+import pytest
+
+from repro.core.api import Cancellable, Ingester, Watchable, WatchCallback
+from repro.core.bridge import even_ranges
+from repro.core.linked_cache import LinkedCache
+from repro.core.relay import WatchRelay
+from repro.core.sharded_watch import ShardedWatchSystem
+from repro.core.store_watch import StoreWatch
+from repro.core.watch_system import WatchSystem
+from repro.sim.kernel import Simulation
+from repro.storage.kv import MVCCStore
+
+
+def test_watch_system_implements_both_contracts(sim):
+    ws = WatchSystem(sim)
+    assert isinstance(ws, Watchable)
+    assert isinstance(ws, Ingester)
+
+
+def test_sharded_watch_implements_both_contracts(sim):
+    sws = ShardedWatchSystem(sim, even_ranges(2))
+    assert isinstance(sws, Watchable)
+    assert isinstance(sws, Ingester)
+
+
+def test_store_watch_is_watchable(sim):
+    assert isinstance(StoreWatch(sim, MVCCStore()), Watchable)
+
+
+def test_relay_is_watchable_and_callback(sim):
+    store = MVCCStore()
+    ws = WatchSystem(sim)
+    relay = WatchRelay(
+        sim, ws, lambda kr: (0, {}), __import__("repro._types", fromlist=["KeyRange"]).KeyRange.all(),
+    )
+    assert isinstance(relay, Watchable)
+    assert isinstance(relay, WatchCallback)
+
+
+def test_linked_cache_is_a_watch_callback(sim):
+    from repro._types import KeyRange
+
+    cache = LinkedCache(sim, WatchSystem(sim), lambda kr: (0, {}), KeyRange.all())
+    assert isinstance(cache, WatchCallback)
+
+
+def test_watch_returns_cancellable(sim):
+    from repro._types import KEY_MAX, KEY_MIN
+    from repro.core.api import FnWatchCallback
+
+    for watchable in (
+        WatchSystem(sim),
+        StoreWatch(sim, MVCCStore()),
+        ShardedWatchSystem(sim, even_ranges(2)),
+    ):
+        handle = watchable.watch(KEY_MIN, KEY_MAX, 0, FnWatchCallback())
+        assert isinstance(handle, Cancellable)
+        assert handle.active
+        handle.cancel()
+        assert not handle.active
+
+
+def test_abstract_contracts_cannot_instantiate():
+    with pytest.raises(TypeError):
+        Watchable()  # type: ignore[abstract]
+    with pytest.raises(TypeError):
+        Ingester()  # type: ignore[abstract]
+    with pytest.raises(TypeError):
+        WatchCallback()  # type: ignore[abstract]

@@ -1,0 +1,127 @@
+"""Tests for snapshot stitching across watchers (Figure 5)."""
+
+import pytest
+
+from repro._types import KeyRange
+from repro.core.bridge import PartitionedIngestBridge, even_ranges
+from repro.core.linked_cache import LinkedCache, LinkedCacheConfig
+from repro.core.snapshotter import SnapshotStitcher
+from repro.core.watch_system import WatchSystem
+from repro.storage.kv import MVCCStore
+
+
+@pytest.fixture
+def pipeline(sim):
+    store = MVCCStore(clock=sim.now)
+    ws = WatchSystem(sim)
+    PartitionedIngestBridge(
+        sim, store.history, ws, even_ranges(4), progress_interval=0.2
+    )
+
+    def snapshot_fn(kr):
+        version = store.last_version
+        return version, dict(store.scan(kr, version))
+
+    def make_cache(low, high, name):
+        cache = LinkedCache(
+            sim, ws, snapshot_fn, KeyRange(low, high),
+            LinkedCacheConfig(snapshot_latency=0.01), name=name,
+        )
+        cache.start()
+        return cache
+
+    return store, make_cache
+
+
+class TestStitching:
+    def test_single_cache_serves_own_range(self, sim, pipeline):
+        store, make_cache = pipeline
+        store.put("b", 1)
+        cache = make_cache("a", "m", "c1")
+        sim.run_for(1.0)
+        stitcher = SnapshotStitcher([cache])
+        result = stitcher.stitch(KeyRange("a", "m"))
+        assert result is not None
+        assert result.items == {"b": 1}
+        assert result.piece_count == 1
+
+    def test_stitch_across_two_caches(self, sim, pipeline):
+        store, make_cache = pipeline
+        store.put("b", 1)
+        store.put("q", 2)
+        c1 = make_cache("a", "m", "c1")
+        c2 = make_cache("m", "z", "c2")
+        sim.run_for(1.0)
+        stitcher = SnapshotStitcher([c1, c2])
+        result = stitcher.stitch(KeyRange("a", "z"))
+        assert result is not None
+        assert result.items == {"b": 1, "q": 2}
+        assert {name for _, name in result.pieces} == {"c1", "c2"}
+        assert stitcher.served == 1
+
+    def test_stitched_result_matches_store_snapshot(self, sim, pipeline):
+        store, make_cache = pipeline
+        c1 = make_cache("a", "m", "c1")
+        c2 = make_cache("m", "z", "c2")
+        sim.run_for(0.5)
+        for i in range(40):
+            store.put(f"{'bdfqsu'[i % 6]}key", i)
+        sim.run_for(2.0)
+        stitcher = SnapshotStitcher([c1, c2])
+        result = stitcher.stitch(KeyRange("a", "z"))
+        assert result is not None
+        assert result.items == dict(store.scan(KeyRange("a", "z"), result.version))
+
+    def test_gap_returns_none(self, sim, pipeline):
+        store, make_cache = pipeline
+        store.put("b", 1)
+        store.put("q", 2)
+        c1 = make_cache("a", "g", "c1")
+        sim.run_for(1.0)
+        stitcher = SnapshotStitcher([c1])
+        assert stitcher.stitch(KeyRange("a", "z")) is None
+        assert stitcher.rejected == 1
+
+    def test_explicit_version_respected(self, sim, pipeline):
+        store, make_cache = pipeline
+        cache = make_cache("a", "z", "c1")
+        sim.run_for(0.5)
+        v1 = store.put("b", "old")
+        sim.run_for(0.5)
+        store.put("b", "new")
+        sim.run_for(1.0)
+        stitcher = SnapshotStitcher([cache])
+        result = stitcher.stitch(KeyRange("a", "z"), version=v1)
+        assert result is not None
+        assert result.items["b"] == "old"
+
+    def test_unknown_explicit_version_refused(self, sim, pipeline):
+        store, make_cache = pipeline
+        cache = make_cache("a", "z", "c1")
+        sim.run_for(0.5)
+        stitcher = SnapshotStitcher([cache])
+        assert stitcher.stitch(KeyRange("a", "z"), version=10_000) is None
+
+    def test_overlapping_caches_redundancy(self, sim, pipeline):
+        """Figure 5 / §4.3: overlapping regions — one cache down, the
+        other still covers."""
+        store, make_cache = pipeline
+        store.put("h", 1)
+        c1 = make_cache("a", "p", "c1")
+        c2 = make_cache("g", "z", "c2")
+        sim.run_for(1.0)
+        # drop c1 entirely: c2 alone still covers [g, z)
+        stitcher = SnapshotStitcher([c2])
+        result = stitcher.stitch(KeyRange("g", "p"))
+        assert result is not None
+        assert result.items == {"h": 1}
+
+    def test_servable_version_reports_newest(self, sim, pipeline):
+        store, make_cache = pipeline
+        cache = make_cache("a", "z", "c1")
+        sim.run_for(0.5)
+        store.put("b", 1)
+        sim.run_for(1.0)
+        stitcher = SnapshotStitcher([cache])
+        v = stitcher.servable_version(KeyRange("a", "z"))
+        assert v == cache.best_snapshot_version()

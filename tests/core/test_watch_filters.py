@@ -1,0 +1,87 @@
+"""Tests for server-side watch predicates (selector-style filtering)."""
+
+import pytest
+
+from repro._types import KeyRange, Mutation
+from repro.core.api import FnWatchCallback
+from repro.core.events import ChangeEvent
+from repro.core.store_watch import StoreWatch
+from repro.core.watch_system import WatchSystem
+from repro.storage.kv import MVCCStore
+
+
+def change(key, value, version):
+    return ChangeEvent(key, Mutation.put(value), version)
+
+
+class TestWatchSystemPredicates:
+    def test_only_matching_events_delivered(self, sim):
+        ws = WatchSystem(sim)
+        events = []
+        ws.watch_range(
+            KeyRange.all(), 0, FnWatchCallback(on_event=events.append),
+            predicate=lambda e: e.mutation.value.get("tier") == "gold",
+        )
+        ws.append(change("u1", {"tier": "gold"}, 1))
+        ws.append(change("u2", {"tier": "basic"}, 2))
+        ws.append(change("u3", {"tier": "gold"}, 3))
+        sim.run_for(0.5)
+        assert [e.key for e in events] == ["u1", "u3"]
+
+    def test_filtered_catch_up(self, sim):
+        ws = WatchSystem(sim)
+        ws.append(change("u1", {"tier": "gold"}, 1))
+        ws.append(change("u2", {"tier": "basic"}, 2))
+        events = []
+        ws.watch_range(
+            KeyRange.all(), 0, FnWatchCallback(on_event=events.append),
+            predicate=lambda e: e.mutation.value.get("tier") == "gold",
+        )
+        sim.run_for(0.5)
+        assert [e.key for e in events] == ["u1"]
+
+    def test_progress_unaffected_by_filter(self, sim):
+        from repro.core.events import ProgressEvent
+
+        ws = WatchSystem(sim)
+        progress = []
+        ws.watch_range(
+            KeyRange.all(), 0, FnWatchCallback(on_progress=progress.append),
+            predicate=lambda e: False,  # drop every event
+        )
+        ws.append(change("u1", {"x": 1}, 1))
+        ws.progress(ProgressEvent("", "\U0010ffff", 1))
+        sim.run_for(0.5)
+        # progress still flows: "no more matching events up to v1"
+        assert [p.version for p in progress] == [1]
+
+
+class TestStoreWatchPredicates:
+    def test_filtered_store_watch(self, sim):
+        store = MVCCStore()
+        watch = StoreWatch(sim, store)
+        events = []
+        watch.watch_range(
+            KeyRange.all(), 0, FnWatchCallback(on_event=events.append),
+            predicate=lambda e: not e.mutation.is_delete,
+        )
+        store.put("a", 1)
+        store.delete("a")
+        store.put("b", 2)
+        sim.run_for(0.5)
+        assert [e.key for e in events] == ["a", "b"]
+        assert all(not e.mutation.is_delete for e in events)
+
+    def test_filter_composes_with_range(self, sim):
+        store = MVCCStore()
+        watch = StoreWatch(sim, store)
+        events = []
+        watch.watch_range(
+            KeyRange("a", "m"), 0, FnWatchCallback(on_event=events.append),
+            predicate=lambda e: e.mutation.value % 2 == 0,
+        )
+        store.put("b", 1)
+        store.put("c", 2)
+        store.put("z", 4)  # even but out of range
+        sim.run_for(0.5)
+        assert [(e.key, e.mutation.value) for e in events] == [("c", 2)]

@@ -1,0 +1,101 @@
+"""Failure-injection integration: random outages, invariants intact."""
+
+import pytest
+
+from repro._types import KeyRange
+from repro.core.bridge import PartitionedIngestBridge, even_ranges
+from repro.core.linked_cache import LinkedCache, LinkedCacheConfig
+from repro.core.watch_system import WatchSystem, WatchSystemConfig
+from repro.pubsub.broker import Broker
+from repro.pubsub.consumer import Consumer
+from repro.sim.failures import FailureInjector
+from repro.sim.kernel import Simulation
+from repro.storage.kv import MVCCStore
+from repro.workloads.generators import UniformKeys, WriteStream, key_universe
+
+
+class _FailableCache:
+    """Adapts a LinkedCache to the Failable protocol for the injector."""
+
+    def __init__(self, sim, ws, cache):
+        self.cache = cache
+
+    def crash(self):
+        self.cache.suspend()
+
+    def recover(self):
+        self.cache.resume()
+
+
+@pytest.mark.parametrize("seed", [1, 7, 42])
+def test_watch_mirror_survives_random_outages(seed):
+    """Random consumer outages + watch-system wipes: the mirror always
+    converges, and resyncs are signalled wherever state was missed."""
+    sim = Simulation(seed=seed)
+    store = MVCCStore(clock=sim.now)
+    ws = WatchSystem(sim, WatchSystemConfig(max_buffered_events=400))
+    PartitionedIngestBridge(
+        sim, store.history, ws, even_ranges(3), progress_interval=0.2
+    )
+
+    def snapshot_fn(kr):
+        version = store.last_version
+        return version, dict(store.scan(kr, version))
+
+    cache = LinkedCache(
+        sim, ws, snapshot_fn, KeyRange.all(),
+        LinkedCacheConfig(snapshot_latency=0.1), name="mirror",
+    )
+    cache.start()
+    injector = FailureInjector(sim)
+    injector.random_outages(
+        _FailableCache(sim, ws, cache), "mirror",
+        horizon=30.0, mean_interval=6.0, mean_duration=3.0,
+    )
+    # plus two watch-system wipes
+    sim.call_at(10.0, ws.wipe)
+    sim.call_at(20.0, ws.wipe)
+    writer = WriteStream(
+        sim, store, UniformKeys(sim, key_universe(40)), rate=30.0,
+        delete_fraction=0.1,
+    )
+    sim.call_after(0.5, writer.start)
+    sim.call_at(30.0, writer.stop)
+    sim.run(until=60.0)
+    assert cache.state == "watching"
+    assert cache.data.items_latest() == dict(store.scan())
+
+
+@pytest.mark.parametrize("seed", [3, 11])
+def test_pubsub_group_random_consumer_outages_exactly_once_effect(seed):
+    """With unbounded retention, random consumer outages never lose or
+    duplicate *effects* (handler dedupe + redelivery)."""
+    sim = Simulation(seed=seed)
+    broker = Broker(sim)
+    broker.create_topic("t", num_partitions=2)
+    from repro.pubsub.subscription import RoutingPolicy, SubscriptionConfig
+
+    group = broker.consumer_group(
+        "t", "g", SubscriptionConfig(routing=RoutingPolicy.RANDOM, ack_timeout=1.0)
+    )
+    seen = set()
+    consumers = []
+    for i in range(3):
+        def handler(message):
+            seen.add(message.payload)
+            return True
+
+        consumer = Consumer(sim, f"c{i}", handler=handler, service_time=0.005)
+        consumers.append(consumer)
+        group.join(consumer)
+    injector = FailureInjector(sim)
+    for i, consumer in enumerate(consumers):
+        injector.random_outages(
+            consumer, consumer.name, horizon=20.0,
+            mean_interval=5.0, mean_duration=2.0,
+        )
+    for i in range(200):
+        sim.call_at(i * 0.1, lambda i=i: broker.publish("t", f"k{i}", i))
+    sim.run(until=120.0)
+    assert seen == set(range(200))
+    assert group.backlog() == 0

@@ -1,0 +1,94 @@
+"""Model-based testing of pubsub delivery under consumer churn.
+
+With unbounded retention, the at-least-once contract plus handler-side
+dedup must yield exactly-once *effects*, no matter how publishes,
+crashes, recoveries, and time advances interleave.  The machine drives
+those operations randomly; teardown recovers everyone, drains, and
+checks the effect set equals the published set with zero backlog.
+"""
+
+from hypothesis import settings
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+from hypothesis import strategies as st
+
+from repro.pubsub.broker import Broker
+from repro.pubsub.consumer import Consumer
+from repro.pubsub.subscription import RoutingPolicy, SubscriptionConfig
+from repro.sim.kernel import Simulation
+
+NUM_CONSUMERS = 3
+
+
+class DeliveryMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.sim = Simulation(seed=99)
+        self.broker = Broker(self.sim)
+        self.broker.create_topic("t", num_partitions=2)
+        self.group = self.broker.consumer_group(
+            "t", "g",
+            SubscriptionConfig(routing=RoutingPolicy.RANDOM, ack_timeout=0.5),
+        )
+        self.effects = []
+        self.consumers = []
+        for i in range(NUM_CONSUMERS):
+            consumer = Consumer(
+                self.sim, f"c{i}",
+                handler=self._make_handler(),
+                service_time=0.01,
+            )
+            self.consumers.append(consumer)
+            self.group.join(consumer)
+        self.published = 0
+
+    def _make_handler(self):
+        def handler(message):
+            if message.payload not in self.effects:
+                self.effects.append(message.payload)
+            return True
+
+        return handler
+
+    # ------------------------------------------------------------------
+
+    @rule(n=st.integers(1, 5))
+    def publish(self, n):
+        for _ in range(n):
+            self.broker.publish("t", f"k{self.published % 4}", self.published)
+            self.published += 1
+
+    @rule(idx=st.integers(0, NUM_CONSUMERS - 1))
+    def crash(self, idx):
+        self.consumers[idx].crash()
+
+    @rule(idx=st.integers(0, NUM_CONSUMERS - 1))
+    def recover(self, idx):
+        self.consumers[idx].recover()
+
+    @rule(dt=st.floats(0.05, 2.0))
+    def advance(self, dt):
+        self.sim.run_for(dt)
+
+    # ------------------------------------------------------------------
+
+    @invariant()
+    def no_phantom_effects(self):
+        assert all(0 <= payload < self.published for payload in self.effects)
+
+    @invariant()
+    def backlog_never_negative(self):
+        assert self.group.backlog() >= 0
+
+    def teardown(self):
+        for consumer in self.consumers:
+            consumer.recover()
+        self.group.subscription.pump_all()
+        self.sim.run_for(120.0)
+        assert sorted(self.effects) == list(range(self.published))
+        assert self.group.backlog() == 0
+
+
+TestDeliveryModel = DeliveryMachine.TestCase
+TestDeliveryModel.settings = settings(
+    max_examples=30, stateful_step_count=25, deadline=None
+)

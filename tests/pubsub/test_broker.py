@@ -1,0 +1,73 @@
+"""Tests for the broker: topics, sweeps, accounting."""
+
+import pytest
+
+from repro.pubsub.broker import Broker, BrokerConfig
+from repro.pubsub.consumer import Consumer
+from repro.pubsub.errors import PubsubError, UnknownTopicError
+from repro.pubsub.log import CompactionPolicy, RetentionPolicy
+
+
+class TestTopics:
+    def test_create_and_lookup(self, sim):
+        broker = Broker(sim)
+        topic = broker.create_topic("t", num_partitions=3)
+        assert broker.topic("t") is topic
+        assert broker.topics() == ["t"]
+
+    def test_duplicate_rejected(self, sim):
+        broker = Broker(sim)
+        broker.create_topic("t")
+        with pytest.raises(PubsubError):
+            broker.create_topic("t")
+
+    def test_unknown_topic(self, sim):
+        broker = Broker(sim)
+        with pytest.raises(UnknownTopicError):
+            broker.publish("ghost", None, 1)
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            BrokerConfig(gc_interval=0)
+
+
+class TestSweeps:
+    def test_gc_sweep_runs_periodically(self, sim):
+        broker = Broker(sim, BrokerConfig(gc_interval=10.0))
+        broker.create_topic(
+            "t", retention=RetentionPolicy(max_age=5.0)
+        )
+        broker.publish("t", None, "old")
+        sim.run(until=30.0)
+        assert broker.topic("t").total_messages_gced == 1
+        assert broker.metrics.counter("pubsub.gc.deleted").value == 1
+
+    def test_compaction_sweep(self, sim):
+        broker = Broker(sim, BrokerConfig(compaction_interval=10.0))
+        broker.create_topic(
+            "t", compaction=CompactionPolicy(recent_window=5.0)
+        )
+        broker.publish("t", "k", "v1")
+        broker.publish("t", "k", "v2")
+        sim.run(until=30.0)
+        assert broker.topic("t").total_messages_compacted == 1
+
+
+class TestAccounting:
+    def test_hard_state_bytes(self, sim):
+        broker = Broker(sim)
+        broker.create_topic("t")
+        broker.publish("t", "k", "payload")
+        assert broker.hard_state_bytes > 0
+
+    def test_total_backlog(self, sim):
+        broker = Broker(sim)
+        broker.create_topic("t", num_partitions=1)
+        group = broker.consumer_group("t", "g")
+        consumer = Consumer(sim, "c")
+        group.join(consumer)
+        consumer.crash()
+        for i in range(7):
+            broker.publish("t", None, i)
+        sim.run_for(1.0)
+        assert broker.total_backlog() == 7

@@ -1,0 +1,122 @@
+"""Tests for the consumer processing model."""
+
+import pytest
+
+from repro.pubsub.broker import Broker
+from repro.pubsub.consumer import Consumer
+from repro.pubsub.message import Message
+
+
+def msg(payload, key=None, offset=0):
+    return Message(
+        topic="t", partition=0, offset=offset, key=key,
+        payload=payload, publish_time=0.0,
+    )
+
+
+class TestProcessing:
+    def test_serial_with_service_time(self, sim):
+        consumer = Consumer(sim, "c", service_time=1.0)
+        acked = []
+        for i in range(3):
+            consumer.deliver(msg(i, offset=i), ack=lambda i=i: acked.append((i, sim.now())), nack=lambda: None)
+        sim.run()
+        assert acked == [(0, 1.0), (1, 2.0), (2, 3.0)]
+
+    def test_handler_false_nacks(self, sim):
+        consumer = Consumer(
+            sim, "c", handler=lambda m: False
+        )
+        outcomes = []
+        consumer.deliver(msg(1), ack=lambda: outcomes.append("ack"),
+                         nack=lambda: outcomes.append("nack"))
+        sim.run()
+        assert outcomes == ["nack"]
+        assert consumer.failed == 1
+
+    def test_handler_exception_nacks(self, sim):
+        def boom(m):
+            raise RuntimeError("handler broke")
+
+        consumer = Consumer(sim, "c", handler=boom)
+        outcomes = []
+        consumer.deliver(msg(1), ack=lambda: outcomes.append("ack"),
+                         nack=lambda: outcomes.append("nack"))
+        sim.run()
+        assert outcomes == ["nack"]
+
+    def test_service_time_fn_per_message(self, sim):
+        consumer = Consumer(
+            sim, "c",
+            service_time_fn=lambda m: 5.0 if m.payload == "slow" else 0.5,
+        )
+        done = []
+        consumer.deliver(msg("slow"), ack=lambda: done.append(("slow", sim.now())), nack=lambda: None)
+        consumer.deliver(msg("fast", offset=1), ack=lambda: done.append(("fast", sim.now())), nack=lambda: None)
+        sim.run()
+        # FIFO: fast waits behind slow — head-of-line blocking
+        assert done == [("slow", 5.0), ("fast", 5.5)]
+
+    def test_queue_capacity_nacks_overflow(self, sim):
+        # capacity counts queued items; the first stays queued until the
+        # processing loop starts, so both later deliveries are refused
+        consumer = Consumer(sim, "c", service_time=10.0, queue_capacity=1)
+        outcomes = []
+        for i in range(3):
+            consumer.deliver(msg(i, offset=i), ack=lambda: outcomes.append("ack"),
+                             nack=lambda: outcomes.append("nack"))
+        sim.run(until=5.0)
+        assert outcomes.count("nack") == 2
+        assert outcomes.count("ack") == 0
+        sim.run(until=15.0)
+        assert outcomes.count("ack") == 1  # the accepted one completes
+
+
+class TestCrashRecover:
+    def test_crash_loses_queue_no_acks(self, sim):
+        consumer = Consumer(sim, "c", service_time=1.0)
+        acked = []
+        for i in range(3):
+            consumer.deliver(msg(i, offset=i), ack=lambda i=i: acked.append(i), nack=lambda: None)
+        sim.call_after(0.5, consumer.crash)
+        sim.run()
+        assert acked == []
+        assert consumer.queue_depth == 0
+
+    def test_deliveries_while_down_dropped(self, sim):
+        consumer = Consumer(sim, "c")
+        consumer.crash()
+        consumer.deliver(msg(1), ack=lambda: None, nack=lambda: None)
+        assert consumer.dropped_while_down == 1
+
+    def test_recover_runs_hooks(self, sim):
+        consumer = Consumer(sim, "c")
+        fired = []
+        consumer.on_recover(lambda: fired.append(True))
+        consumer.crash()
+        consumer.recover()
+        assert fired == [True]
+        consumer.recover()  # idempotent: no second hook fire
+        assert fired == [True]
+
+    def test_crash_mid_processing_no_ack(self, sim):
+        consumer = Consumer(sim, "c", service_time=2.0)
+        acked = []
+        consumer.deliver(msg(1), ack=lambda: acked.append(1), nack=lambda: None)
+        sim.call_after(1.0, consumer.crash)
+        sim.run()
+        assert acked == []
+
+
+class TestFreeConsumer:
+    def test_free_consumer_gets_everything(self, sim):
+        broker = Broker(sim)
+        broker.create_topic("t", num_partitions=4)
+        got_a, got_b = [], []
+        broker.free_consumer("t", Consumer(sim, "a", handler=lambda m: got_a.append(m.payload)))
+        broker.free_consumer("t", Consumer(sim, "b", handler=lambda m: got_b.append(m.payload)))
+        for i in range(40):
+            broker.publish("t", f"k{i}", i)
+        sim.run_for(5.0)
+        assert sorted(got_a) == list(range(40))
+        assert sorted(got_b) == list(range(40))

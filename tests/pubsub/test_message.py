@@ -1,0 +1,25 @@
+"""Tests for the message value type."""
+
+from repro.pubsub.message import Message
+
+
+class TestMessage:
+    def test_fields(self):
+        m = Message(
+            topic="t", partition=2, offset=7, key="k",
+            payload={"a": 1}, publish_time=3.5,
+        )
+        assert (m.topic, m.partition, m.offset) == ("t", 2, 7)
+        assert m.publish_time == 3.5
+
+    def test_size_accounts_key_and_payload(self):
+        small = Message("t", 0, 0, None, "x", 0.0)
+        big = Message("t", 0, 0, "a-long-key", "x" * 100, 0.0)
+        assert big.size() > small.size()
+
+    def test_size_none_key(self):
+        assert Message("t", 0, 0, None, "p", 0.0).size() > 0
+
+    def test_repr_compact(self):
+        m = Message("topic", 1, 42, "key", "p", 0.0)
+        assert "topic[1]@42" in repr(m)

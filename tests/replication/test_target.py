@@ -1,0 +1,91 @@
+"""Tests for the replica store's apply disciplines."""
+
+import pytest
+
+from repro._types import Mutation
+from repro.replication.target import ReplicaStore, _item_hash
+
+
+class TestNaiveApply:
+    def test_last_arrival_wins(self):
+        t = ReplicaStore()
+        t.apply_naive("k", Mutation.put("new"), 10)
+        t.apply_naive("k", Mutation.put("old"), 5)  # reordered arrival
+        assert t.get("k") == "old"  # the §3.2.1 stale overwrite
+
+    def test_resurrection(self):
+        t = ReplicaStore()
+        t.apply_naive("k", Mutation.delete(), 10)
+        t.apply_naive("k", Mutation.put("zombie"), 5)
+        assert t.get("k") == "zombie"  # deleted row resurrected
+
+
+class TestVersionedApply:
+    def test_stale_write_skipped(self):
+        t = ReplicaStore()
+        assert t.apply_versioned("k", Mutation.put("new"), 10)
+        assert not t.apply_versioned("k", Mutation.put("old"), 5)
+        assert t.get("k") == "new"
+        assert t.skipped_stale == 1
+
+    def test_tombstone_blocks_resurrection(self):
+        t = ReplicaStore()
+        assert t.apply_versioned("k", Mutation.delete(), 10)
+        assert not t.apply_versioned("k", Mutation.put("zombie"), 5)
+        assert t.get("k") is None
+
+    def test_equal_version_skipped(self):
+        t = ReplicaStore()
+        t.apply_versioned("k", Mutation.put(1), 5)
+        assert not t.apply_versioned("k", Mutation.put(2), 5)  # redelivery
+
+    def test_version_of(self):
+        t = ReplicaStore()
+        t.apply_versioned("k", Mutation.put(1), 7)
+        assert t.version_of("k") == 7
+        assert t.version_of("ghost") == 0
+
+
+class TestTxnApply:
+    def test_atomic_single_notification(self):
+        t = ReplicaStore()
+        states = []
+        t.observe(lambda target: states.append(dict(target.items())))
+        t.apply_txn([("a", Mutation.put(1)), ("b", Mutation.put(2))], 5)
+        assert states == [{"a": 1, "b": 2}]  # one externalized state
+
+    def test_txn_respects_versions_per_key(self):
+        t = ReplicaStore()
+        t.apply_versioned("a", Mutation.put("newer"), 10)
+        t.apply_txn([("a", Mutation.put("older")), ("b", Mutation.put(2))], 5)
+        assert t.get("a") == "newer"
+        assert t.get("b") == 2
+
+
+class TestFingerprint:
+    def test_empty_state_zero(self):
+        assert ReplicaStore().fingerprint == 0
+
+    def test_same_state_same_fingerprint(self):
+        t1, t2 = ReplicaStore(), ReplicaStore()
+        t1.apply_naive("a", Mutation.put(1), 1)
+        t1.apply_naive("b", Mutation.put(2), 2)
+        t2.apply_naive("b", Mutation.put(2), 7)  # different order/versions
+        t2.apply_naive("a", Mutation.put(1), 9)
+        assert t1.fingerprint == t2.fingerprint
+
+    def test_fingerprint_returns_after_delete(self):
+        t = ReplicaStore()
+        base = t.fingerprint
+        t.apply_naive("a", Mutation.put(1), 1)
+        assert t.fingerprint != base
+        t.apply_naive("a", Mutation.delete(), 2)
+        assert t.fingerprint == base
+
+    def test_overwrite_updates_fingerprint(self):
+        t = ReplicaStore()
+        t.apply_naive("a", Mutation.put(1), 1)
+        fp1 = t.fingerprint
+        t.apply_naive("a", Mutation.put(2), 2)
+        assert t.fingerprint != fp1
+        assert t.fingerprint == _item_hash("a", 2)

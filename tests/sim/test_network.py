@@ -1,0 +1,108 @@
+"""Tests for the network model: latency, loss, partitions, downtime."""
+
+import pytest
+
+from repro.sim.network import Network, NetworkConfig
+
+
+def collect_endpoint(network, name):
+    received = []
+    network.register(name, lambda src, payload: received.append((src, payload)))
+    return received
+
+
+class TestDelivery:
+    def test_basic_delivery(self, sim):
+        net = Network(sim, NetworkConfig(base_latency=0.5))
+        inbox = collect_endpoint(net, "b")
+        assert net.send("a", "b", "hello")
+        sim.run()
+        assert inbox == [("a", "hello")]
+        assert sim.now() == 0.5
+
+    def test_unknown_destination_dropped_at_delivery(self, sim):
+        net = Network(sim)
+        assert net.send("a", "ghost", "x")
+        sim.run()
+        assert net.metrics.counter("net.dropped.down").value == 1
+
+    def test_down_endpoint_drops(self, sim):
+        net = Network(sim)
+        inbox = collect_endpoint(net, "b")
+        net.set_up("b", False)
+        net.send("a", "b", 1)
+        sim.run()
+        assert inbox == []
+        net.set_up("b", True)
+        net.send("a", "b", 2)
+        sim.run()
+        assert inbox == [("a", 2)]
+
+    def test_set_up_unknown_endpoint(self, sim):
+        net = Network(sim)
+        with pytest.raises(KeyError):
+            net.set_up("nope", False)
+
+    def test_fifo_without_jitter(self, sim):
+        net = Network(sim, NetworkConfig(base_latency=0.01))
+        inbox = collect_endpoint(net, "b")
+        for i in range(10):
+            net.send("a", "b", i)
+        sim.run()
+        assert [p for _, p in inbox] == list(range(10))
+
+
+class TestFaults:
+    def test_partition_blocks_both_directions(self, sim):
+        net = Network(sim)
+        inbox_a = collect_endpoint(net, "a")
+        inbox_b = collect_endpoint(net, "b")
+        net.partition("a", "b")
+        assert not net.send("a", "b", 1)
+        assert not net.send("b", "a", 2)
+        sim.run()
+        assert inbox_a == [] and inbox_b == []
+
+    def test_heal_restores(self, sim):
+        net = Network(sim)
+        inbox = collect_endpoint(net, "b")
+        net.partition("a", "b")
+        net.heal("a", "b")
+        assert net.send("a", "b", 1)
+        sim.run()
+        assert inbox == [("a", 1)]
+
+    def test_partition_in_flight_drops(self, sim):
+        net = Network(sim, NetworkConfig(base_latency=1.0))
+        inbox = collect_endpoint(net, "b")
+        net.send("a", "b", 1)
+        sim.call_after(0.5, lambda: net.partition("a", "b"))
+        sim.run()
+        assert inbox == []
+
+    def test_loss_rate_statistical(self, sim):
+        net = Network(sim, NetworkConfig(loss_rate=0.5))
+        inbox = collect_endpoint(net, "b")
+        for i in range(400):
+            net.send("a", "b", i)
+        sim.run()
+        # with seed 1234 the exact count is deterministic; check band
+        assert 120 < len(inbox) < 280
+
+    def test_invalid_configs(self):
+        with pytest.raises(ValueError):
+            NetworkConfig(base_latency=-1)
+        with pytest.raises(ValueError):
+            NetworkConfig(loss_rate=1.0)
+        with pytest.raises(ValueError):
+            NetworkConfig(jitter=-0.1)
+
+    def test_jitter_reorders(self, sim):
+        net = Network(sim, NetworkConfig(base_latency=0.001, jitter=0.1))
+        inbox = collect_endpoint(net, "b")
+        for i in range(50):
+            net.send("a", "b", i)
+        sim.run()
+        payloads = [p for _, p in inbox]
+        assert len(payloads) == 50
+        assert payloads != sorted(payloads)  # jitter reordered something

@@ -1,0 +1,131 @@
+"""Tests for secondary indexes over the MVCC store."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.storage.index import SecondaryIndex, UniqueConstraintError, UniqueIndex
+from repro.storage.kv import MVCCStore
+
+
+def by_city(row):
+    return row.get("city") if isinstance(row, dict) else None
+
+
+class TestMaintenance:
+    def test_backfill_existing_rows(self):
+        store = MVCCStore()
+        store.put("u1", {"city": "nyc"})
+        store.put("u2", {"city": "sfo"})
+        index = SecondaryIndex(store, by_city)
+        assert index.lookup("nyc") == ["u1"]
+        assert index.lookup("sfo") == ["u2"]
+
+    def test_insert_update_delete(self):
+        store = MVCCStore()
+        index = SecondaryIndex(store, by_city)
+        store.put("u1", {"city": "nyc"})
+        assert index.lookup("nyc") == ["u1"]
+        store.put("u1", {"city": "sfo"})  # moved
+        assert index.lookup("nyc") == []
+        assert index.lookup("sfo") == ["u1"]
+        store.delete("u1")
+        assert index.lookup("sfo") == []
+
+    def test_multiple_keys_per_value(self):
+        store = MVCCStore()
+        index = SecondaryIndex(store, by_city)
+        store.put("u2", {"city": "nyc"})
+        store.put("u1", {"city": "nyc"})
+        assert index.lookup("nyc") == ["u1", "u2"]
+        assert index.count("nyc") == 2
+
+    def test_unindexed_rows_skipped(self):
+        store = MVCCStore()
+        index = SecondaryIndex(store, by_city)
+        store.put("u1", {"name": "no city"})
+        assert index.lookup(None) == []
+
+    def test_close_stops_maintenance(self):
+        store = MVCCStore()
+        index = SecondaryIndex(store, by_city)
+        index.close()
+        store.put("u1", {"city": "nyc"})
+        assert index.lookup("nyc") == []
+
+    def test_value_types_do_not_collide(self):
+        store = MVCCStore()
+        index = SecondaryIndex(store, lambda row: row.get("v"))
+        store.put("a", {"v": 1})
+        store.put("b", {"v": "1"})
+        assert index.lookup(1) == ["a"]
+        assert index.lookup("1") == ["b"]
+
+
+class TestVersionedLookups:
+    def test_lookup_at_old_version(self):
+        store = MVCCStore()
+        index = SecondaryIndex(store, by_city)
+        v1 = store.put("u1", {"city": "nyc"})
+        v2 = store.put("u1", {"city": "sfo"})
+        assert index.lookup("nyc", version=v1) == ["u1"]
+        assert index.lookup("nyc", version=v2) == []
+        assert index.lookup("sfo", version=v2) == ["u1"]
+
+
+class TestUniqueIndex:
+    def test_check_insert_blocks_duplicates(self):
+        store = MVCCStore()
+        index = UniqueIndex(store, lambda row: row.get("email"))
+        store.put("u1", {"email": "a@x.com"})
+        with pytest.raises(UniqueConstraintError):
+            index.check_insert("u2", {"email": "a@x.com"})
+        index.check_insert("u1", {"email": "a@x.com"})  # same key: fine
+        index.check_insert("u2", {"email": "b@x.com"})  # new value: fine
+
+    def test_get_key(self):
+        store = MVCCStore()
+        index = UniqueIndex(store, lambda row: row.get("email"))
+        store.put("u1", {"email": "a@x.com"})
+        assert index.get_key("a@x.com") == "u1"
+        assert index.get_key("ghost@x.com") is None
+
+    def test_violation_detected_on_lookup(self):
+        store = MVCCStore()
+        index = UniqueIndex(store, lambda row: row.get("email"))
+        # writes bypassing check_insert (the cooperative contract broken)
+        store.put("u1", {"email": "a@x.com"})
+        store.put("u2", {"email": "a@x.com"})
+        with pytest.raises(UniqueConstraintError):
+            index.get_key("a@x.com")
+
+
+class TestIndexProperties:
+    @settings(max_examples=50)
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["k1", "k2", "k3", "k4"]),
+                st.sampled_from(["red", "green", "blue", None]),
+            ),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    def test_index_matches_full_scan(self, writes):
+        """Index lookups always equal a brute-force scan."""
+        store = MVCCStore()
+        index = SecondaryIndex(store, lambda row: row.get("color"))
+        for key, color in writes:
+            if color is None:
+                if store.exists(key):
+                    store.delete(key)
+                else:
+                    store.put(key, {})
+            else:
+                store.put(key, {"color": color})
+        for color in ("red", "green", "blue"):
+            expected = sorted(
+                key for key, row in store.scan()
+                if row.get("color") == color
+            )
+            assert index.lookup(color) == expected

@@ -1,0 +1,103 @@
+"""Tests for the ingestion (time-series) store."""
+
+import pytest
+
+from repro._types import KeyRange
+from repro.storage.timeseries import IngestionStore
+
+
+class TestAppend:
+    def test_append_assigns_versions(self):
+        s = IngestionStore()
+        e1 = s.append("sensor/1", {"v": 1})
+        e2 = s.append("sensor/2", {"v": 2})
+        assert e2.version > e1.version
+        assert len(s) == 2
+
+    def test_explicit_time(self):
+        s = IngestionStore()
+        e = s.append("s", "x", time=42.0)
+        assert e.time == 42.0
+
+    def test_history_mirrors_events(self):
+        s = IngestionStore()
+        e = s.append("s", "payload")
+        commits = s.history.commits()
+        assert len(commits) == 1
+        assert commits[0].version == e.version
+        assert commits[0].writes[0][0] == "s"
+
+
+class TestQueries:
+    def test_events_since(self):
+        s = IngestionStore()
+        events = [s.append("a", i) for i in range(5)]
+        mid = events[2].version
+        newer = list(s.events_since(mid))
+        assert [e.payload for e in newer] == [3, 4]
+
+    def test_series_events(self):
+        s = IngestionStore()
+        s.append("a", 1)
+        s.append("b", 2)
+        s.append("a", 3)
+        assert [e.payload for e in s.series_events("a")] == [1, 3]
+        assert [e.payload for e in s.series_events("a", limit=1)] == [3]
+
+    def test_latest(self):
+        s = IngestionStore()
+        s.append("a", 1)
+        s.append("a", 2)
+        assert s.latest("a").payload == 2
+        assert s.latest("nope") is None
+
+    def test_scan_series_range(self):
+        s = IngestionStore()
+        for series in ["alpha", "beta", "gamma"]:
+            s.append(series, 1)
+        assert s.scan_series(KeyRange("a", "c")) == ["alpha", "beta"]
+
+    def test_window(self):
+        s = IngestionStore()
+        s.append("a", 1, time=1.0)
+        s.append("a", 2, time=5.0)
+        s.append("a", 3, time=9.0)
+        assert [e.payload for e in s.window(2.0, 9.0)] == [2]
+        assert [e.payload for e in s.window(0.0, 100.0)] == [1, 2, 3]
+
+    def test_snapshot_latest(self):
+        s = IngestionStore()
+        s.append("a", 1)
+        s.append("b", 2)
+        s.append("a", 3)
+        assert s.snapshot_latest() == {"a": 3, "b": 2}
+        assert s.snapshot_latest(KeyRange("b", "c")) == {"b": 2}
+
+
+class TestRetention:
+    def test_eviction_raises_floor(self):
+        s = IngestionStore(retention_events=3)
+        events = [s.append("a", i) for i in range(5)]
+        assert len(s) == 3
+        # floor is explicit and queryable — unlike pubsub GC
+        assert s.retained_floor == events[1].version + 1
+        assert [e.payload for e in s.events_since(0)] == [2, 3, 4]
+
+    def test_eviction_updates_series_index(self):
+        s = IngestionStore(retention_events=2)
+        s.append("a", 1)
+        s.append("b", 2)
+        s.append("c", 3)
+        assert s.series_events("a") == []
+        assert s.scan_series() == ["b", "c"]
+
+    def test_latest_after_eviction(self):
+        s = IngestionStore(retention_events=1)
+        s.append("a", 1)
+        s.append("a", 2)
+        assert s.latest("a").payload == 2
+
+    def test_bytes_written_accounting(self):
+        s = IngestionStore()
+        s.append("a", "payload")
+        assert s.bytes_written > 0

@@ -1,0 +1,148 @@
+"""Tests for the shared value types: keys, ranges, mutations."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro._types import (
+    KEY_MAX,
+    KEY_MIN,
+    KeyRange,
+    Mutation,
+    MutationKind,
+    ranges_cover,
+)
+
+keys = st.text(
+    alphabet=st.characters(min_codepoint=ord("a"), max_codepoint=ord("z")),
+    min_size=0,
+    max_size=6,
+)
+
+
+def key_ranges():
+    return st.tuples(keys, keys).map(
+        lambda pair: KeyRange(min(pair), max(pair))
+    )
+
+
+class TestMutation:
+    def test_put_holds_value(self):
+        m = Mutation.put({"a": 1})
+        assert m.kind is MutationKind.PUT
+        assert m.value == {"a": 1}
+        assert not m.is_delete
+
+    def test_delete_has_no_value(self):
+        m = Mutation.delete()
+        assert m.is_delete
+        assert m.value is None
+
+    def test_sizes_positive(self):
+        assert Mutation.put("x").size() > 0
+        assert Mutation.delete().size() > 0
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            Mutation.put(1).value = 2  # type: ignore[misc]
+
+
+class TestKeyRange:
+    def test_all_contains_everything(self):
+        kr = KeyRange.all()
+        assert kr.contains("")
+        assert kr.contains("zzz")
+        assert kr.contains("￿")
+
+    def test_invalid_range_rejected(self):
+        with pytest.raises(ValueError):
+            KeyRange("b", "a")
+
+    def test_half_open(self):
+        kr = KeyRange("a", "b")
+        assert kr.contains("a")
+        assert kr.contains("az")
+        assert not kr.contains("b")
+
+    def test_single(self):
+        kr = KeyRange.single("k")
+        assert kr.contains("k")
+        assert not kr.contains("k\x01")
+        assert not kr.contains("j")
+
+    def test_contains_range(self):
+        assert KeyRange("a", "z").contains_range(KeyRange("b", "c"))
+        assert not KeyRange("b", "c").contains_range(KeyRange("a", "z"))
+        assert KeyRange("a", "z").contains_range(KeyRange("a", "z"))
+
+    def test_empty_range_contained_everywhere(self):
+        assert KeyRange("a", "b").contains_range(KeyRange("q", "q"))
+
+    def test_overlaps(self):
+        assert KeyRange("a", "m").overlaps(KeyRange("l", "z"))
+        assert not KeyRange("a", "m").overlaps(KeyRange("m", "z"))
+
+    def test_intersect(self):
+        assert KeyRange("a", "m").intersect(KeyRange("g", "z")) == KeyRange("g", "m")
+        assert KeyRange("a", "b").intersect(KeyRange("c", "d")) is None
+
+    def test_subtract_middle(self):
+        pieces = KeyRange("a", "z").subtract(KeyRange("g", "m"))
+        assert pieces == [KeyRange("a", "g"), KeyRange("m", "z")]
+
+    def test_subtract_disjoint(self):
+        assert KeyRange("a", "b").subtract(KeyRange("x", "z")) == [KeyRange("a", "b")]
+
+    def test_subtract_covering(self):
+        assert KeyRange("g", "m").subtract(KeyRange("a", "z")) == []
+
+    def test_str_render(self):
+        assert "MAX" in str(KeyRange("a", KEY_MAX))
+
+    def test_ranges_cover(self):
+        assert ranges_cover(
+            [KeyRange("a", "g"), KeyRange("g", "z")], KeyRange("b", "y")
+        )
+        assert not ranges_cover(
+            [KeyRange("a", "g"), KeyRange("h", "z")], KeyRange("b", "y")
+        )
+
+
+class TestKeyRangeProperties:
+    @given(key_ranges(), key_ranges())
+    def test_intersect_symmetric(self, a, b):
+        assert a.intersect(b) == b.intersect(a)
+
+    @given(key_ranges(), key_ranges())
+    def test_intersect_contained_in_both(self, a, b):
+        inter = a.intersect(b)
+        if inter is not None:
+            assert a.contains_range(inter)
+            assert b.contains_range(inter)
+
+    @given(key_ranges(), key_ranges(), keys)
+    def test_subtract_partition(self, a, b, key):
+        """Every key of `a` is in exactly one of: (a - b) pieces, or b."""
+        if not a.contains(key):
+            return
+        in_pieces = any(p.contains(key) for p in a.subtract(b))
+        assert in_pieces == (not b.contains(key))
+
+    @given(key_ranges(), key_ranges())
+    def test_subtract_pieces_disjoint_from_b(self, a, b):
+        for piece in a.subtract(b):
+            assert not piece.overlaps(b)
+
+    @given(key_ranges())
+    def test_cover_by_self(self, a):
+        assert ranges_cover([a], a)
+
+    @given(keys, keys, keys)
+    def test_overlap_transitivity_of_containment(self, x, y, z):
+        lo, mid, hi = sorted([x, y, z])
+        outer = KeyRange(lo, hi)
+        if lo < mid:
+            assert outer.contains_range(KeyRange(lo, mid))
+
+    def test_key_max_is_maximal(self):
+        assert "z" * 100 < KEY_MAX
+        assert KEY_MIN <= "a"

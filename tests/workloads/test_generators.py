@@ -1,0 +1,138 @@
+"""Tests for workload generators."""
+
+import pytest
+
+from repro.storage.kv import MVCCStore
+from repro.workloads.generators import (
+    AclWorkload,
+    TaskStream,
+    UniformKeys,
+    WriteStream,
+    ZipfKeys,
+    key_universe,
+)
+
+
+class TestKeyUniverse:
+    def test_distinct_and_spread(self):
+        keys = key_universe(100)
+        assert len(set(keys)) == 100
+        first_chars = {k[0] for k in keys}
+        assert len(first_chars) == 26
+
+    def test_prefix(self):
+        assert all(k.startswith("p/") for k in key_universe(5, prefix="p/"))
+
+
+class TestPickers:
+    def test_uniform_covers(self, sim):
+        picker = UniformKeys(sim, key_universe(10))
+        picked = {picker.pick() for _ in range(300)}
+        assert len(picked) == 10
+
+    def test_zipf_skews(self, sim):
+        keys = key_universe(50)
+        picker = ZipfKeys(sim, keys, s=1.5)
+        counts = {}
+        for _ in range(3000):
+            key = picker.pick()
+            counts[key] = counts.get(key, 0) + 1
+        top = max(counts.values())
+        median = sorted(counts.values())[len(counts) // 2]
+        assert top > 5 * max(median, 1)
+
+    def test_empty_universe_rejected(self, sim):
+        with pytest.raises(ValueError):
+            UniformKeys(sim, [])
+        with pytest.raises(ValueError):
+            ZipfKeys(sim, [])
+
+
+class TestWriteStream:
+    def test_writes_at_rate(self, sim):
+        store = MVCCStore(clock=sim.now)
+        stream = WriteStream(sim, store, UniformKeys(sim, key_universe(10)), rate=10.0)
+        stream.start()
+        sim.run(until=5.0)
+        assert 45 <= stream.writes <= 51
+
+    def test_stop(self, sim):
+        store = MVCCStore(clock=sim.now)
+        stream = WriteStream(sim, store, UniformKeys(sim, key_universe(10)), rate=10.0)
+        stream.start()
+        sim.call_at(1.0, stream.stop)
+        sim.run(until=5.0)
+        assert stream.writes <= 12
+
+    def test_delete_fraction_mixes_ops(self, sim):
+        store = MVCCStore(clock=sim.now)
+        stream = WriteStream(
+            sim, store, UniformKeys(sim, key_universe(5)), rate=100.0,
+            delete_fraction=0.5,
+        )
+        stream.start()
+        sim.run(until=3.0)
+        deletes = sum(
+            1 for c in store.history.commits()
+            for _, m in c.writes if m.is_delete
+        )
+        assert deletes > 0
+
+
+class TestAclWorkload:
+    def test_invariant_holds_at_source_always(self, sim):
+        store = MVCCStore(clock=sim.now)
+        workload = AclWorkload(sim, store, num_pairs=5, cycle_rate=50.0,
+                               filler_rate=10.0)
+        workload.start()
+        sim.run(until=10.0)
+        workload.stop()
+        # check member∧access at every committed version
+        for commit in store.history.commits():
+            v = commit.version
+            for member_key, access_key in workload.pairs:
+                member = store.get(member_key, v)
+                access = store.get(access_key, v)
+                assert not (member and access), (v, member_key)
+
+    def test_transitions_counted(self, sim):
+        store = MVCCStore(clock=sim.now)
+        workload = AclWorkload(sim, store, num_pairs=3, cycle_rate=20.0,
+                               filler_rate=5.0)
+        workload.start()
+        sim.run(until=5.0)
+        assert workload.transitions > 50
+
+
+class TestTaskStream:
+    def test_total_bound(self, sim):
+        tasks = []
+        stream = TaskStream(sim, tasks.append, key_universe(10), rate=100.0,
+                            total=25)
+        stream.start()
+        sim.run(until=10.0)
+        assert len(tasks) == 25
+        assert stream.submitted == 25
+
+    def test_poison_fraction(self, sim):
+        tasks = []
+        stream = TaskStream(
+            sim, tasks.append, key_universe(10), rate=100.0,
+            poison_fraction=0.5, poison_work=9.0, work=0.1, total=200,
+        )
+        stream.start()
+        sim.run(until=10.0)
+        poisoned = [t for t in tasks if t.poison]
+        assert 60 <= len(poisoned) <= 140
+        assert all(t.work == 9.0 for t in poisoned)
+
+    def test_locality_reuses_keys(self, sim):
+        tasks = []
+        stream = TaskStream(
+            sim, tasks.append, key_universe(1000), rate=100.0,
+            locality=0.9, total=200,
+        )
+        stream.start()
+        sim.run(until=10.0)
+        distinct = len({t.key for t in tasks})
+        assert distinct < 120  # far fewer than 200 without locality
