@@ -1,0 +1,45 @@
+"""E10: chaos soak — reliable vs fire-and-forget delivery under faults."""
+
+from conftest import run_once
+
+from repro.bench.experiments import e10_chaos_soak
+
+
+def test_e10_chaos_soak(benchmark):
+    result = run_once(benchmark, e10_chaos_soak.run, e10_chaos_soak.QUICK)
+    table = result.table("chaos soak")
+    for system in ("pubsub", "watch"):
+        reliable = table.row_by("config", f"{system}-reliable")
+        fireforget = table.row_by("config", f"{system}-fireforget")
+
+        # with retries the pipeline converges once the faults stop:
+        # nothing lost, nothing permanently stale
+        assert reliable["converged"], system
+        assert reliable["t_converge_s"] is not None
+        assert reliable["lost_updates"] == 0
+        assert reliable["final_stale"] == 0
+        # ...and the convergence was genuinely bought with resilience
+        # machinery, not a quiet fault schedule
+        assert reliable["retransmits"] > 0
+        assert reliable["dup_dropped"] > 0
+        assert reliable["breaker_trips"] > 0
+
+        # fire-and-forget under the same seed (same faults, same loss):
+        # updates are silently lost and the caches diverge permanently
+        assert fireforget["lost_updates"] > 0
+        assert fireforget["final_stale"] > 0
+        assert fireforget["retransmits"] == 0
+
+        # the reliable row also serves fresher reads *during* the chaos
+        assert (
+            reliable["stale_reads_frac"] < fireforget["stale_reads_frac"]
+        )
+
+
+def test_e10_replays_identically(benchmark):
+    """Identical seed ⇒ identical fault schedule, retries, and table."""
+    params = dict(e10_chaos_soak.QUICK)
+    params.update(duration=12.0, drain=10.0, num_keys=30)
+    first = run_once(benchmark, e10_chaos_soak.run, params)
+    second = e10_chaos_soak.run(**params)
+    assert [t.rows for t in first.tables] == [t.rows for t in second.tables]

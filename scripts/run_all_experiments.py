@@ -4,25 +4,54 @@
 Used to regenerate the measured sections of EXPERIMENTS.md:
 
     python scripts/run_all_experiments.py > experiments_output.txt
+
+A failing experiment no longer aborts the sweep: its traceback is
+printed in place, the remaining experiments still run, and the script
+exits nonzero with a per-experiment summary so CI catches the breakage.
 """
 
+import sys
 import time
+import traceback
 
 from repro.bench import experiments
 
 
-def main() -> None:
+def main() -> int:
+    failures = {}
+    timings = {}
     for experiment_id in experiments.all_ids():
         module = experiments.get(experiment_id)
         started = time.time()
-        result = module.run(**module.DEFAULTS)
-        elapsed = time.time() - started
-        print(result.render())
-        print(f"(wall time: {elapsed:.1f}s)")
+        try:
+            result = module.run(**module.DEFAULTS)
+        except Exception:
+            timings[experiment_id] = time.time() - started
+            failures[experiment_id] = traceback.format_exc()
+            print(f"!!! {experiment_id} FAILED")
+            print(failures[experiment_id])
+        else:
+            timings[experiment_id] = time.time() - started
+            print(result.render())
+        print(f"(wall time: {timings[experiment_id]:.1f}s)")
         print()
         print("=" * 72)
         print()
 
+    print("summary")
+    print("-------")
+    for experiment_id in experiments.all_ids():
+        status = "FAILED" if experiment_id in failures else "ok"
+        print(f"{experiment_id:5s} {status:6s} {timings[experiment_id]:6.1f}s")
+    if failures:
+        print(
+            f"\n{len(failures)} experiment(s) failed: "
+            + ", ".join(failures),
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
 
 if __name__ == "__main__":
-    main()
+    sys.exit(main())

@@ -21,6 +21,7 @@ _MODULES: Dict[str, str] = {
     "E7": "repro.bench.experiments.e7_snapshot_stitch",
     "E8": "repro.bench.experiments.e8_efficiency",
     "E9": "repro.bench.experiments.e9_quadrants",
+    "E10": "repro.bench.experiments.e10_chaos_soak",
     # ablations of the proposed model's design choices
     "A1": "repro.bench.experiments.a1_fanout_tree",
     "A2": "repro.bench.experiments.a2_soft_state_budget",

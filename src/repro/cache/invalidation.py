@@ -35,14 +35,42 @@ from typing import Dict, List, Optional
 
 from repro.cache.node import CacheNode, CacheNodeConfig
 from repro.cdc.publisher import CdcPublisher
-from repro.pubsub.broker import Broker
+from repro.pubsub.broker import Broker, RemotePublisher
 from repro.pubsub.consumer import Consumer
 from repro.pubsub.message import Message
 from repro.pubsub.subscription import RoutingPolicy, SubscriptionConfig
+from repro.resilience.channel import ChannelConfig
 from repro.sharding.autosharder import AutoSharder
 from repro.sharding.leases import LeaseManager
 from repro.sim.kernel import Simulation
+from repro.sim.network import Network
 from repro.storage.kv import MVCCStore
+
+
+def _networked_cdc(
+    sim: Simulation,
+    store: MVCCStore,
+    broker: Broker,
+    topic: str,
+    network: Network,
+    resilience: Optional[ChannelConfig],
+) -> tuple:
+    """Build the CDC→broker path across the simulated network.
+
+    The broker gets a network endpoint (``<topic>-broker``) and the CDC
+    publisher publishes through a :class:`RemotePublisher` instead of a
+    direct call — the §3.1 cross-DC hop where loss and partitions can
+    silently eat invalidations unless the channel config retries.
+    """
+    broker.attach_network(network, endpoint=f"{topic}-broker", config=resilience)
+    remote = RemotePublisher(
+        sim, network, f"{topic}-cdc", broker_endpoint=f"{topic}-broker",
+        config=resilience, metrics=broker.metrics,
+    )
+    publisher = CdcPublisher(
+        sim, store.history, broker, topic, publish_fn=remote.publish
+    )
+    return publisher, remote
 
 
 class InvalidationMode(enum.Enum):
@@ -136,6 +164,8 @@ class PubsubInvalidationPipeline:
         ack_timeout: float = 0.25,
         num_partitions: int = 8,
         subscribe_nodes: bool = True,
+        network: Optional[Network] = None,
+        resilience: Optional[ChannelConfig] = None,
     ) -> None:
         self.sim = sim
         self.store = store
@@ -151,7 +181,13 @@ class PubsubInvalidationPipeline:
                 else RoutingPolicy.RANDOM
             )
         broker.create_topic(topic, num_partitions=num_partitions)
-        self.publisher = CdcPublisher(sim, store.history, broker, topic)
+        self.remote_publisher: Optional[RemotePublisher] = None
+        if network is not None:
+            self.publisher, self.remote_publisher = _networked_cdc(
+                sim, store, broker, topic, network, resilience
+            )
+        else:
+            self.publisher = CdcPublisher(sim, store.history, broker, topic)
         self.group = broker.consumer_group(
             topic,
             f"{topic}-caches",
@@ -200,9 +236,14 @@ class PubsubInvalidationPipeline:
         sharder: AutoSharder,
         nodes: List[PubsubCacheNode],
         topic: str = "invalidations",
+        network: Optional[Network] = None,
+        resilience: Optional[ChannelConfig] = None,
     ) -> "FreeInvalidationPipeline":
         """Build the free-consumer variant instead (§3.2.2 fallback)."""
-        return FreeInvalidationPipeline(sim, store, broker, sharder, nodes, topic)
+        return FreeInvalidationPipeline(
+            sim, store, broker, sharder, nodes, topic,
+            network=network, resilience=resilience,
+        )
 
 
 class FreeInvalidationPipeline:
@@ -221,11 +262,19 @@ class FreeInvalidationPipeline:
         sharder: AutoSharder,
         nodes: List[PubsubCacheNode],
         topic: str = "invalidations",
+        network: Optional[Network] = None,
+        resilience: Optional[ChannelConfig] = None,
     ) -> None:
         self.sim = sim
         self.nodes = nodes
         broker.create_topic(topic, num_partitions=8)
-        self.publisher = CdcPublisher(sim, store.history, broker, topic)
+        self.remote_publisher: Optional[RemotePublisher] = None
+        if network is not None:
+            self.publisher, self.remote_publisher = _networked_cdc(
+                sim, store, broker, topic, network, resilience
+            )
+        else:
+            self.publisher = CdcPublisher(sim, store.history, broker, topic)
         self._consumers: List[Consumer] = []
         for node in nodes:
             def handler(message: Message, node: PubsubCacheNode = node) -> bool:

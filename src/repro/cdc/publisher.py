@@ -9,12 +9,17 @@ want; the delivery problems downstream are pubsub's, not the data's.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Any, Callable, Optional
 
 from repro.cdc.capture import CdcCapture, ChangeRecord
 from repro.pubsub.broker import Broker
 from repro.sim.kernel import Simulation
 from repro.storage.history import ChangeHistory
+
+#: Publishes one record: (topic, key, payload).  Defaults to the direct
+#: broker call; a networked pipeline passes RemotePublisher.publish so
+#: the CDC→broker hop crosses the (lossy) simulated network instead.
+PublishFn = Callable[[str, Optional[str], Any], Any]
 
 
 class CdcPublisher:
@@ -24,16 +29,24 @@ class CdcPublisher:
         self,
         sim: Simulation,
         history: ChangeHistory,
-        broker: Broker,
+        broker: Optional[Broker],
         topic: str,
         publish_latency: float = 0.001,
+        publish_fn: Optional[PublishFn] = None,
     ) -> None:
         if publish_latency < 0:
             raise ValueError("publish_latency must be >= 0")
+        if broker is None and publish_fn is None:
+            raise ValueError("need a broker or an explicit publish_fn")
         self.sim = sim
         self.broker = broker
         self.topic = topic
         self.publish_latency = publish_latency
+        if publish_fn is not None:
+            self._publish = publish_fn
+        else:
+            assert broker is not None
+            self._publish = broker.publish
         self.published = 0
         self._capture = CdcCapture(history, self._on_record)
 
@@ -52,7 +65,7 @@ class CdcPublisher:
         if self.publish_latency > 0:
             self.sim.call_after(
                 self.publish_latency,
-                lambda: self.broker.publish(self.topic, record.key, payload),
+                lambda: self._publish(self.topic, record.key, payload),
             )
         else:
-            self.broker.publish(self.topic, record.key, payload)
+            self._publish(self.topic, record.key, payload)

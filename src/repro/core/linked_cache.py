@@ -35,7 +35,10 @@ from repro.core.events import ChangeEvent, ProgressEvent
 from repro.core.knowledge import KnowledgeMap
 from repro.core.stream import WatcherConfig
 from repro.core.versioned_map import VersionedMap
+from repro.resilience.breaker import CircuitBreaker, CircuitBreakerConfig
+from repro.resilience.retry import RetryPolicy
 from repro.sim.kernel import Simulation
+from repro.sim.metrics import MetricsRegistry
 
 #: Reads a snapshot of a key range: returns (snapshot version, items).
 SnapshotFn = Callable[[KeyRange], Tuple[Version, Dict[Key, Any]]]
@@ -60,6 +63,17 @@ class LinkedCacheConfig:
     #: If set, prune local versions more than this many version units
     #: behind the newest known progress (bounds client memory).
     prune_window: Optional[int] = None
+    #: Backoff schedule for retrying an unavailable snapshot source
+    #: (:class:`SnapshotUnavailable`).  None keeps the legacy fixed
+    #: retry at ``max(snapshot_latency, 0.01)``.  Exhausting the policy
+    #: does not abandon the sync — a linked cache must eventually serve
+    #: — it clamps further retries to the policy's ``max_delay``.
+    snapshot_retry: Optional[RetryPolicy] = None
+    #: Circuit breaker over the snapshot source: repeated
+    #: SnapshotUnavailable failures trip it, and while it is open the
+    #: cache waits out the cooldown instead of hammering a source that
+    #: is itself recovering (e.g. a mid-resync relay).
+    source_breaker: Optional[CircuitBreakerConfig] = None
 
     def __post_init__(self) -> None:
         if self.snapshot_latency < 0:
@@ -79,6 +93,7 @@ class LinkedCache(WatchCallback):
         key_range: KeyRange,
         config: Optional[LinkedCacheConfig] = None,
         name: str = "cache",
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.sim = sim
         self.watchable = watchable
@@ -86,6 +101,16 @@ class LinkedCache(WatchCallback):
         self.key_range = key_range
         self.config = config or LinkedCacheConfig()
         self.name = name
+        self.metrics = metrics or MetricsRegistry()
+        self._snapshot_failures = 0
+        self._source_breaker: Optional[CircuitBreaker] = None
+        if self.config.source_breaker is not None:
+            self._source_breaker = CircuitBreaker(
+                sim,
+                name=f"snapshot.{name}",
+                config=self.config.source_breaker,
+                metrics=self.metrics,
+            )
         self.data = VersionedMap()
         self.knowledge = KnowledgeMap()
         self.state = "idle"  # idle | syncing | watching | stopped
@@ -172,15 +197,32 @@ class LinkedCache(WatchCallback):
     def _finish_sync(self, generation: int) -> None:
         if generation != self._sync_generation or self.state == "stopped":
             return  # superseded by a newer sync or a stop
-        try:
-            version, items = self.snapshot_fn(self.key_range)
-        except SnapshotUnavailable:
-            # the snapshot source is itself recovering; retry shortly
+        breaker = self._source_breaker
+        if breaker is not None and not breaker.allow():
+            # breaker open: wait out the cooldown instead of hammering a
+            # source that is itself recovering
             self.sim.call_after(
-                max(self.config.snapshot_latency, 0.01),
+                max(breaker.cooldown_remaining(), 0.01),
                 lambda: self._finish_sync(generation),
             )
             return
+        try:
+            version, items = self.snapshot_fn(self.key_range)
+        except SnapshotUnavailable:
+            # the snapshot source cannot serve right now; retry on the
+            # configured backoff schedule
+            if breaker is not None:
+                breaker.record_failure()
+            self._snapshot_failures += 1
+            self.metrics.counter("resilience.snapshot.retries").inc()
+            self.sim.call_after(
+                self._snapshot_retry_delay(),
+                lambda: self._finish_sync(generation),
+            )
+            return
+        if breaker is not None:
+            breaker.record_success()
+        self._snapshot_failures = 0
         self.snapshots_taken += 1
         self.data.load_snapshot(items, version)
         self.knowledge.reset(self.key_range, version)
@@ -191,6 +233,18 @@ class LinkedCache(WatchCallback):
         if self._resync_started_at is not None:
             self.recovery_times.append(self.sim.now() - self._resync_started_at)
             self._resync_started_at = None
+
+    def _snapshot_retry_delay(self) -> float:
+        """Delay before re-attempting an unavailable snapshot.
+
+        With no policy configured, the legacy fixed interval.  With one,
+        its backoff schedule (deterministic jitter from the sim RNG);
+        past ``max_attempts`` the delay stays clamped at the policy
+        ceiling — a linked cache never abandons its sync."""
+        policy = self.config.snapshot_retry
+        if policy is None:
+            return max(self.config.snapshot_latency, 0.01)
+        return policy.backoff(self._snapshot_failures, self.sim.rng)
 
     # ------------------------------------------------------------------
     # WatchCallback

@@ -27,8 +27,8 @@ from __future__ import annotations
 
 from typing import Any, Dict, Optional, Tuple
 
-from repro._types import Key, KeyRange, Version
-from repro.core.api import Cancellable, WatchCallback, Watchable
+from repro._types import KEY_MAX, KEY_MIN, Key, KeyRange, VERSION_ZERO, Version
+from repro.core.api import Cancellable, Ingester, WatchCallback, Watchable
 from repro.core.events import ChangeEvent, ProgressEvent
 from repro.core.linked_cache import (
     LinkedCache,
@@ -37,7 +37,10 @@ from repro.core.linked_cache import (
 )
 from repro.core.stream import WatcherConfig
 from repro.core.watch_system import WatchSystem, WatchSystemConfig
+from repro.resilience.channel import ChannelConfig, ReliableChannel
 from repro.sim.kernel import Simulation
+from repro.sim.metrics import MetricsRegistry
+from repro.sim.network import Network
 
 
 class WatchRelay(LinkedCache, Watchable):
@@ -131,3 +134,126 @@ class WatchRelay(LinkedCache, Watchable):
     @property
     def downstream_watchers(self) -> int:
         return self.fanout.active_watchers
+
+
+class ReliableFanoutLink(WatchCallback):
+    """Ships a watch stream across the network to a remote ingest tier.
+
+    The fan-out edge of a relay tree that crosses a *lossy* link (e.g.
+    source DC → edge PoP): change and progress events are forwarded
+    through a :class:`~repro.resilience.channel.ReliableChannel` with
+    ordered delivery, so the per-range event order the Ingester contract
+    requires survives loss-and-retransmit reordering.  Fire-and-forget
+    configs (``reliable=False``) model the naive alternative: a dropped
+    event silently desynchronizes the remote tier forever.
+
+    If the upstream declares resync (the link fell below the retained
+    floor), the link re-watches from the current floor and ships a
+    resync marker; the remote endpoint raises its ingester's floor,
+    which forces *its* downstream watchers through their own
+    snapshot+resync — loss recovery propagates down the tree instead of
+    being silently absorbed.
+    """
+
+    def __init__(
+        self,
+        sim: Simulation,
+        upstream,  # anything with watch_range (WatchSystem/relay)
+        net: Network,
+        name: str,
+        remote: str,
+        key_range: Optional[KeyRange] = None,
+        from_version: Version = VERSION_ZERO,
+        config: Optional[ChannelConfig] = None,
+        watcher_config: Optional[WatcherConfig] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.sim = sim
+        self.upstream = upstream
+        self.remote = remote
+        self.key_range = key_range or KeyRange(KEY_MIN, KEY_MAX)
+        self.watcher_config = watcher_config
+        if config is None:
+            config = ChannelConfig(ordered=True)
+        self.channel = ReliableChannel(
+            sim, net, name, config=config, metrics=metrics
+        )
+        self.events_shipped = 0
+        self.progress_shipped = 0
+        self.resyncs = 0
+        self._handle = upstream.watch_range(
+            self.key_range, from_version, self, config=watcher_config
+        )
+
+    # WatchCallback --------------------------------------------------
+
+    def on_event(self, event: ChangeEvent) -> None:
+        self.events_shipped += 1
+        self.channel.send(self.remote, {"kind": "event", "event": event})
+
+    def on_progress(self, event: ProgressEvent) -> None:
+        self.progress_shipped += 1
+        self.channel.send(self.remote, {"kind": "progress", "event": event})
+
+    def on_resync(self) -> None:
+        self.resyncs += 1
+        floor = getattr(self.upstream, "retained_floor", VERSION_ZERO)
+        self.channel.send(self.remote, {"kind": "resync", "version": floor})
+        self._handle = self.upstream.watch_range(
+            self.key_range, floor, self, config=self.watcher_config
+        )
+
+    def stop(self) -> None:
+        if self._handle is not None:
+            self._handle.cancel()
+            self._handle = None
+
+    # Failable protocol (the link is the thing chaos experiments cut)
+    def crash(self) -> None:
+        self.channel.crash()
+
+    def recover(self) -> None:
+        self.channel.recover()
+
+
+class ReliableFanoutEndpoint:
+    """Remote end of a :class:`ReliableFanoutLink`: feeds an ingester."""
+
+    def __init__(
+        self,
+        sim: Simulation,
+        net: Network,
+        name: str,
+        ingester: Ingester,
+        config: Optional[ChannelConfig] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.ingester = ingester
+        self.events_ingested = 0
+        self.link_resyncs = 0
+        if config is None:
+            config = ChannelConfig(ordered=True)
+        self.channel = ReliableChannel(
+            sim, net, name, handler=self._on_frame, config=config,
+            metrics=metrics,
+        )
+
+    def _on_frame(self, src: str, frame: Dict[str, Any]) -> None:
+        kind = frame["kind"]
+        if kind == "event":
+            self.events_ingested += 1
+            self.ingester.append(frame["event"])
+        elif kind == "progress":
+            self.ingester.progress(frame["event"])
+        else:  # resync: push the gap down to our own watchers
+            self.link_resyncs += 1
+            raise_floor = getattr(self.ingester, "raise_floor", None)
+            if raise_floor is not None:
+                raise_floor(frame["version"])
+
+    # Failable protocol
+    def crash(self) -> None:
+        self.channel.crash()
+
+    def recover(self) -> None:
+        self.channel.recover()

@@ -21,8 +21,10 @@ from repro.pubsub.log import CompactionPolicy, RetentionPolicy
 from repro.pubsub.message import Message
 from repro.pubsub.subscription import RoutingPolicy, Subscription, SubscriptionConfig
 from repro.pubsub.topic import Topic
+from repro.resilience.channel import ChannelConfig, ReliableChannel
 from repro.sim.kernel import Simulation
 from repro.sim.metrics import MetricsRegistry
+from repro.sim.network import Network
 
 
 @dataclass
@@ -55,6 +57,37 @@ class Broker:
         self._topics: Dict[str, Topic] = {}
         self._subscriptions: Dict[str, List[Subscription]] = {}
         self._sweeps_started = False
+        self._channel: Optional[ReliableChannel] = None
+
+    # ------------------------------------------------------------------
+    # network attachment (resilience layer)
+
+    def attach_network(
+        self,
+        net: Network,
+        endpoint: str = "broker",
+        config: Optional[ChannelConfig] = None,
+    ) -> ReliableChannel:
+        """Expose the publish API as a network endpoint.
+
+        Remote producers (:class:`RemotePublisher`) publish across the
+        simulated network instead of calling :meth:`publish` directly —
+        the hop where loss, partitions, and broker downtime bite.  The
+        broker-side channel dedups retransmitted publishes (per-sender
+        sequence numbers), so reliable producers get exactly-once
+        appends even though the wire is at-least-once.
+        """
+        if self._channel is not None:
+            raise PubsubError("broker already attached to a network")
+
+        def handle(src: str, command: Any) -> None:
+            self.publish(command["topic"], command["key"], command["payload"])
+
+        self._channel = ReliableChannel(
+            self.sim, net, endpoint, handler=handle,
+            config=config, metrics=self.metrics,
+        )
+        return self._channel
 
     # ------------------------------------------------------------------
     # topics
@@ -200,3 +233,59 @@ class Broker:
             for subs in self._subscriptions.values()
             for subscription in subs
         )
+
+
+class RemotePublisher:
+    """Producer-side handle that publishes to a broker over the network.
+
+    The resilient counterpart of calling ``broker.publish`` directly:
+    publish commands travel through a :class:`ReliableChannel` to the
+    endpoint created by :meth:`Broker.attach_network`.  With a reliable
+    channel config a publish survives loss, partition windows, and
+    broker downtime (retransmitted until acked); with
+    ``ChannelConfig(reliable=False)`` it is the paper's fire-and-forget
+    baseline, and ``lost`` counts publishes the policy abandoned.
+    """
+
+    def __init__(
+        self,
+        sim: Simulation,
+        net: Network,
+        name: str,
+        broker_endpoint: str = "broker",
+        config: Optional[ChannelConfig] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.sim = sim
+        self.broker_endpoint = broker_endpoint
+        self.channel = ReliableChannel(
+            sim, net, name, config=config, metrics=metrics
+        )
+        self.published = 0
+        self.delivered = 0
+        self.lost = 0
+
+    def publish(self, topic: str, key: Optional[str], payload: Any) -> None:
+        """Ship one publish command across the network."""
+        self.published += 1
+
+        def delivered() -> None:
+            self.delivered += 1
+
+        def gaveup() -> None:
+            self.lost += 1
+
+        self.channel.send(
+            self.broker_endpoint,
+            {"topic": topic, "key": key, "payload": payload},
+            on_delivered=delivered,
+            on_giveup=gaveup,
+        )
+
+    # Failable protocol: a crashed publisher stops transmitting but
+    # keeps its unacked frames; recovery re-kicks them.
+    def crash(self) -> None:
+        self.channel.crash()
+
+    def recover(self) -> None:
+        self.channel.recover()

@@ -12,7 +12,8 @@ arbitrary order."
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+import dataclasses
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro._types import Mutation, MutationKind
 from repro.pubsub.broker import Broker
@@ -20,7 +21,9 @@ from repro.pubsub.consumer import Consumer
 from repro.pubsub.message import Message
 from repro.pubsub.subscription import RoutingPolicy, SubscriptionConfig
 from repro.replication.target import ReplicaStore
+from repro.resilience.channel import ChannelConfig, ReliableChannel
 from repro.sim.kernel import Simulation
+from repro.sim.network import Network
 
 
 def _mutation_of(message: Message) -> Mutation:
@@ -31,7 +34,18 @@ def _mutation_of(message: Message) -> Mutation:
 
 
 class _ApplierBase:
-    """Shared wiring: a subscription plus worker consumers."""
+    """Shared wiring: a subscription plus worker consumers.
+
+    With ``network`` set, the replica store lives across the simulated
+    network (the remote data center of §3.1/§3.2.1): each apply is
+    shipped to a replica endpoint through a
+    :class:`~repro.resilience.channel.ReliableChannel` instead of being
+    a direct method call.  The channel config decides whether a dropped
+    apply is retransmitted (reliable) or silently lost (the
+    fire-and-forget baseline) — and whether applies can reorder in
+    flight (``ordered``), which is exactly the redelivery/reordering
+    regime the version-checked appliers were built to survive.
+    """
 
     def __init__(
         self,
@@ -44,12 +58,28 @@ class _ApplierBase:
         workers: int,
         service_time: float,
         ack_timeout: float = 5.0,
+        network: Optional[Network] = None,
+        resilience: Optional[ChannelConfig] = None,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
         self.sim = sim
         self.target = target
         self.records_seen = 0
+        self._tx: Optional[ReliableChannel] = None
+        if network is not None:
+            self._endpoint_name = f"{group_name}-replica"
+
+            def apply_remote(src: str, op: Dict[str, Any]) -> None:
+                getattr(self.target, op["method"])(*op["args"])
+
+            self._rx = ReliableChannel(
+                sim, network, self._endpoint_name,
+                handler=apply_remote, config=resilience,
+            )
+            self._tx = ReliableChannel(
+                sim, network, f"{group_name}-tx", config=resilience
+            )
         self.group = broker.consumer_group(
             topic,
             group_name,
@@ -69,8 +99,19 @@ class _ApplierBase:
     def _handle(self, message: Message) -> bool:  # pragma: no cover - abstract
         raise NotImplementedError
 
+    def _apply_op(self, method: str, *args: Any) -> None:
+        """Apply to the target: direct call, or shipped over the network."""
+        if self._tx is None:
+            getattr(self.target, method)(*args)
+        else:
+            self._tx.send(self._endpoint_name, {"method": method, "args": args})
+
     def backlog(self) -> int:
         return self.group.backlog()
+
+    def unapplied_in_flight(self) -> int:
+        """Applies shipped to the replica but not yet acknowledged."""
+        return self._tx.pending_count if self._tx is not None else 0
 
 
 class SerialTxnApplier(_ApplierBase):
@@ -86,15 +127,25 @@ class SerialTxnApplier(_ApplierBase):
         topic: str,
         target: ReplicaStore,
         service_time: float = 0.001,
+        network: Optional[Network] = None,
+        resilience: Optional[ChannelConfig] = None,
     ) -> None:
         if broker.topic(topic).num_partitions != 1:
             raise ValueError("SerialTxnApplier requires a 1-partition topic")
+        if network is not None:
+            # serial apply is only point-in-time consistent if the wire
+            # preserves order, so the channel must be reliable+ordered
+            resilience = dataclasses.replace(
+                resilience or ChannelConfig(), reliable=True, ordered=True
+            )
         super().__init__(
             sim, broker, topic, target,
             group_name="serial-applier",
             routing=RoutingPolicy.PARTITION,
             workers=1,
             service_time=service_time,
+            network=network,
+            resilience=resilience,
         )
         self._pending: List[Tuple[str, Mutation]] = []
         self.txns_applied = 0
@@ -104,7 +155,7 @@ class SerialTxnApplier(_ApplierBase):
         self.records_seen += 1
         self._pending.append((message.key, _mutation_of(message)))
         if payload["txn_index"] == payload["txn_size"] - 1:
-            self.target.apply_txn(self._pending, payload["version"])
+            self._apply_op("apply_txn", self._pending, payload["version"])
             self._pending = []
             self.txns_applied += 1
         return True
@@ -124,6 +175,8 @@ class ConcurrentApplier(_ApplierBase):
         target: ReplicaStore,
         workers: int = 4,
         service_time: float = 0.001,
+        network: Optional[Network] = None,
+        resilience: Optional[ChannelConfig] = None,
     ) -> None:
         super().__init__(
             sim, broker, topic, target,
@@ -131,12 +184,15 @@ class ConcurrentApplier(_ApplierBase):
             routing=RoutingPolicy.RANDOM,
             workers=workers,
             service_time=service_time,
+            network=network,
+            resilience=resilience,
         )
 
     def _handle(self, message: Message) -> bool:
         self.records_seen += 1
-        self.target.apply_naive(
-            message.key, _mutation_of(message), message.payload["version"]
+        self._apply_op(
+            "apply_naive", message.key, _mutation_of(message),
+            message.payload["version"],
         )
         return True
 
@@ -156,6 +212,8 @@ class VersionCheckedApplier(_ApplierBase):
         target: ReplicaStore,
         workers: int = 4,
         service_time: float = 0.001,
+        network: Optional[Network] = None,
+        resilience: Optional[ChannelConfig] = None,
     ) -> None:
         super().__init__(
             sim, broker, topic, target,
@@ -163,12 +221,15 @@ class VersionCheckedApplier(_ApplierBase):
             routing=RoutingPolicy.RANDOM,
             workers=workers,
             service_time=service_time,
+            network=network,
+            resilience=resilience,
         )
 
     def _handle(self, message: Message) -> bool:
         self.records_seen += 1
-        self.target.apply_versioned(
-            message.key, _mutation_of(message), message.payload["version"]
+        self._apply_op(
+            "apply_versioned", message.key, _mutation_of(message),
+            message.payload["version"],
         )
         return True
 
@@ -188,6 +249,8 @@ class PartitionSerialApplier(_ApplierBase):
         topic: str,
         target: ReplicaStore,
         service_time: float = 0.001,
+        network: Optional[Network] = None,
+        resilience: Optional[ChannelConfig] = None,
     ) -> None:
         partitions = broker.topic(topic).num_partitions
         super().__init__(
@@ -196,6 +259,8 @@ class PartitionSerialApplier(_ApplierBase):
             routing=RoutingPolicy.PARTITION,
             workers=partitions,
             service_time=service_time,
+            network=network,
+            resilience=resilience,
         )
 
     def _handle(self, message: Message) -> bool:
@@ -203,7 +268,8 @@ class PartitionSerialApplier(_ApplierBase):
         # per-key order is guaranteed by keyed partitioning + partition
         # affinity, so a plain versioned apply never skips (belt and
         # braces: keep the version check to stay safe under redelivery)
-        self.target.apply_versioned(
-            message.key, _mutation_of(message), message.payload["version"]
+        self._apply_op(
+            "apply_versioned", message.key, _mutation_of(message),
+            message.payload["version"],
         )
         return True

@@ -1,0 +1,321 @@
+"""Reliable delivery over the lossy simulated network.
+
+``Network.send`` is fire-and-forget: loss, partitions, and crashed
+endpoints silently eat messages.  A :class:`ReliableChannel` is a named
+peer that layers the classic machinery on top:
+
+- **acks** — every reliable data frame is acknowledged by the receiver;
+- **retransmission** — unacked frames are retransmitted on the sender's
+  :class:`~repro.resilience.retry.RetryPolicy` schedule (deterministic
+  jitter from the sim RNG) until acked, exhausted, or the channel is
+  torn down;
+- **duplicate suppression** — per-sender, per-destination sequence
+  numbers let the receiver drop retransmitted duplicates (and re-ack
+  them, covering lost acks);
+- **ordering** (optional) — with ``ordered=True`` the receiver holds
+  back out-of-order reliable frames until the gap fills, so the
+  application sees the exact send order (what the watch Ingester
+  contract requires);
+- **circuit breaking** (optional) — consecutive ack timeouts to a
+  destination trip a per-destination breaker; while open, retransmits
+  are suppressed (fast-fail) until the cooldown elapses.
+
+A channel is :class:`~repro.sim.failures.Failable`: ``crash()`` takes
+the endpoint off the network and freezes retransmit timers; ``recover``
+re-kicks every pending frame — the "consumer data center down for days"
+scenario recovers programmatically.
+
+All counters live in the metrics registry under
+``resilience.<channel>.*`` (sent, transmits, retransmits,
+retransmit_bytes, acked, gaveup, received, duplicates_dropped,
+held_for_order).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.sim.kernel import EventHandle, Simulation
+from repro.sim.metrics import MetricsRegistry
+from repro.sim.network import Network
+from repro.resilience.breaker import CircuitBreaker, CircuitBreakerConfig
+from repro.resilience.retry import RetryPolicy
+
+#: Receives (src, payload) for each application payload delivered.
+Handler = Callable[[str, Any], None]
+
+
+@dataclass(frozen=True)
+class ChannelConfig:
+    """Delivery semantics of a :class:`ReliableChannel`."""
+
+    retry: RetryPolicy = field(default_factory=RetryPolicy.unbounded)
+    #: False = fire-and-forget passthrough (the chaos-soak baseline):
+    #: frames carry sequence numbers but are neither acked nor
+    #: retransmitted.
+    reliable: bool = True
+    #: Deliver reliable frames to the handler in send order per sender
+    #: (holds back frames that arrive ahead of a retransmitted gap).
+    ordered: bool = False
+    #: Per-destination circuit breaker on consecutive ack timeouts.
+    breaker: Optional[CircuitBreakerConfig] = None
+
+
+@dataclass
+class _DataFrame:
+    seq: int
+    payload: Any
+    needs_ack: bool
+
+
+@dataclass
+class _AckFrame:
+    seq: int
+
+
+@dataclass
+class _Pending:
+    dst: str
+    seq: int
+    payload: Any
+    started_at: float
+    attempts: int = 0
+    timer: Optional[EventHandle] = None
+    #: whether the last scheduled attempt actually hit the wire (False
+    #: while suppressed by an open breaker — a fast-failed attempt must
+    #: not count as evidence against the destination, or the breaker
+    #: would re-open itself forever on its own suppressions)
+    transmitted: bool = False
+    on_delivered: Optional[Callable[[], None]] = None
+    on_giveup: Optional[Callable[[], None]] = None
+
+
+def _payload_bytes(payload: Any) -> int:
+    """Deterministic size estimate for byte-accounting metrics."""
+    return len(str(payload))
+
+
+class ReliableChannel:
+    """A named network peer with reliable-delivery semantics."""
+
+    def __init__(
+        self,
+        sim: Simulation,
+        net: Network,
+        name: str,
+        handler: Optional[Handler] = None,
+        config: Optional[ChannelConfig] = None,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.sim = sim
+        self.net = net
+        self.name = name
+        self.handler = handler
+        self.config = config or ChannelConfig()
+        self.metrics = metrics if metrics is not None else net.metrics
+        self.up = True
+        net.register(name, self._on_frame)
+        self._next_seq: Dict[str, int] = {}
+        self._pending: Dict[Tuple[str, int], _Pending] = {}
+        self._breakers: Dict[str, CircuitBreaker] = {}
+        # receiver state, per sender (a durable session: survives crash)
+        self._seen: Dict[str, set] = {}
+        self._expected: Dict[str, int] = {}
+        self._holdback: Dict[str, Dict[int, Any]] = {}
+
+    # ------------------------------------------------------------------
+    # sending
+
+    def send(
+        self,
+        dst: str,
+        payload: Any,
+        on_delivered: Optional[Callable[[], None]] = None,
+        on_giveup: Optional[Callable[[], None]] = None,
+    ) -> int:
+        """Send ``payload`` to channel ``dst``; returns the sequence
+        number assigned on this sender→destination stream.
+
+        Reliable mode tracks the frame until acked (retransmitting per
+        the retry policy) or until the policy is exhausted, at which
+        point ``on_giveup`` fires.  Fire-and-forget mode transmits once
+        and forgets.
+        """
+        seq = self._next_seq.get(dst, 0)
+        self._next_seq[dst] = seq + 1
+        self.metrics.counter(self._metric("sent")).inc()
+        if not self.config.reliable:
+            if self.up:
+                self.metrics.counter(self._metric("transmits")).inc()
+                self.net.send(self.name, dst, _DataFrame(seq, payload, needs_ack=False))
+            return seq
+        pending = _Pending(
+            dst, seq, payload, self.sim.now(),
+            on_delivered=on_delivered, on_giveup=on_giveup,
+        )
+        self._pending[(dst, seq)] = pending
+        if self.up:
+            self._transmit(pending)
+        # else: queued; recover() re-kicks every pending frame
+        return seq
+
+    def _breaker_for(self, dst: str) -> Optional[CircuitBreaker]:
+        if self.config.breaker is None:
+            return None
+        breaker = self._breakers.get(dst)
+        if breaker is None:
+            breaker = CircuitBreaker(
+                self.sim,
+                name=f"{self.name}->{dst}",
+                config=self.config.breaker,
+                metrics=self.metrics,
+            )
+            self._breakers[dst] = breaker
+        return breaker
+
+    def breaker(self, dst: str) -> Optional[CircuitBreaker]:
+        """The per-destination breaker (None if breaking is disabled)."""
+        return self._breaker_for(dst) if self.config.breaker is not None else None
+
+    def _transmit(self, pending: _Pending) -> None:
+        if (pending.dst, pending.seq) not in self._pending:
+            return  # acked or abandoned in the meantime
+        breaker = self._breaker_for(pending.dst)
+        suppressed = breaker is not None and not breaker.allow()
+        if suppressed or not self.up:
+            # a suppressed attempt never hit the wire: it consumes no
+            # retry budget, and the timeout must not feed the breaker.
+            # Re-check once the cooldown has a chance to have elapsed.
+            pending.transmitted = False
+            delay = (
+                max(breaker.cooldown_remaining(), self.config.retry.base_delay)
+                if suppressed
+                else self.config.retry.base_delay
+            )
+        else:
+            pending.attempts += 1
+            pending.transmitted = True
+            self.metrics.counter(self._metric("transmits")).inc()
+            if pending.attempts > 1:
+                self.metrics.counter(self._metric("retransmits")).inc()
+                self.metrics.counter(self._metric("retransmit_bytes")).inc(
+                    _payload_bytes(pending.payload)
+                )
+            self.net.send(
+                self.name, pending.dst,
+                _DataFrame(pending.seq, pending.payload, needs_ack=True),
+            )
+            delay = self.config.retry.backoff(pending.attempts, self.sim.rng)
+        pending.timer = self.sim.call_after(
+            delay, lambda: self._on_ack_timeout(pending)
+        )
+
+    def _on_ack_timeout(self, pending: _Pending) -> None:
+        if (pending.dst, pending.seq) not in self._pending:
+            return
+        pending.timer = None
+        if pending.transmitted:
+            breaker = self._breaker_for(pending.dst)
+            if breaker is not None:
+                breaker.record_failure()
+        if pending.transmitted and not self.config.retry.allows(
+            pending.attempts + 1, pending.started_at, self.sim.now()
+        ):
+            del self._pending[(pending.dst, pending.seq)]
+            self.metrics.counter(self._metric("gaveup")).inc()
+            if pending.on_giveup is not None:
+                pending.on_giveup()
+            return
+        if not self.up:
+            return  # frozen while down; recover() re-kicks
+        self._transmit(pending)
+
+    # ------------------------------------------------------------------
+    # receiving
+
+    def _on_frame(self, src: str, frame: Any) -> None:
+        if isinstance(frame, _AckFrame):
+            pending = self._pending.pop((src, frame.seq), None)
+            if pending is None:
+                return  # duplicate ack
+            if pending.timer is not None:
+                pending.timer.cancel()
+            breaker = self._breaker_for(src)
+            if breaker is not None:
+                breaker.record_success()
+            self.metrics.counter(self._metric("acked")).inc()
+            self.metrics.histogram(self._metric("delivery_time")).observe(
+                self.sim.now() - pending.started_at
+            )
+            if pending.on_delivered is not None:
+                pending.on_delivered()
+            return
+        assert isinstance(frame, _DataFrame)
+        if frame.needs_ack:
+            # always ack, even duplicates: the previous ack may be the
+            # thing that was lost
+            self.net.send(self.name, src, _AckFrame(frame.seq))
+        seen = self._seen.setdefault(src, set())
+        if frame.seq in seen:
+            self.metrics.counter(self._metric("duplicates_dropped")).inc()
+            return
+        seen.add(frame.seq)
+        if self.config.ordered and frame.needs_ack:
+            self._deliver_ordered(src, frame.seq, frame.payload)
+        else:
+            self._deliver(src, frame.payload)
+
+    def _deliver_ordered(self, src: str, seq: int, payload: Any) -> None:
+        expected = self._expected.get(src, 0)
+        if seq != expected:
+            self.metrics.counter(self._metric("held_for_order")).inc()
+            self._holdback.setdefault(src, {})[seq] = payload
+            return
+        self._deliver(src, payload)
+        expected += 1
+        holdback = self._holdback.get(src, {})
+        while expected in holdback:
+            self._deliver(src, holdback.pop(expected))
+            expected += 1
+        self._expected[src] = expected
+
+    def _deliver(self, src: str, payload: Any) -> None:
+        self.metrics.counter(self._metric("received")).inc()
+        if self.handler is not None:
+            self.handler(src, payload)
+        else:
+            self.metrics.counter(self._metric("unhandled")).inc()
+
+    # ------------------------------------------------------------------
+    # failure model (Failable protocol)
+
+    def crash(self) -> None:
+        """Take the endpoint off the network; retransmit timers freeze
+        (pending frames are kept — the session state is durable)."""
+        self.up = False
+        if self.net.endpoint(self.name) is not None:
+            self.net.set_up(self.name, False)
+        for pending in self._pending.values():
+            if pending.timer is not None:
+                pending.timer.cancel()
+                pending.timer = None
+
+    def recover(self) -> None:
+        """Rejoin the network and re-kick every pending frame."""
+        self.up = True
+        if self.net.endpoint(self.name) is not None:
+            self.net.set_up(self.name, True)
+        for key in sorted(self._pending):
+            self._transmit(self._pending[key])
+
+    # ------------------------------------------------------------------
+    # introspection
+
+    @property
+    def pending_count(self) -> int:
+        """Frames sent but not yet acked (reliable mode only)."""
+        return len(self._pending)
+
+    def _metric(self, suffix: str) -> str:
+        return f"resilience.{self.name}.{suffix}"

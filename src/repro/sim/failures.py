@@ -77,6 +77,35 @@ class FailureInjector:
         self.log.append(fault)
         return fault
 
+    def partition_window(
+        self, net, a: str, b: str, start: float, duration: float
+    ) -> InjectedFault:
+        """Partition endpoints ``a``/``b`` on ``net`` at ``start`` and
+        heal ``duration`` later.  Traffic already in flight when the
+        partition begins is dropped by the network model, exactly like a
+        real link cut."""
+        if duration <= 0:
+            raise ValueError(
+                f"partition duration must be positive, got {duration}"
+            )
+        fault = InjectedFault(
+            kind="partition", target=f"{a}<->{b}", start=start,
+            end=start + duration,
+        )
+
+        def begin() -> None:
+            net.partition(a, b)
+            self.metrics.counter("faults.partitions").inc()
+
+        def finish() -> None:
+            net.heal(a, b)
+            self.metrics.counter("faults.heals").inc()
+
+        self.sim.call_at(start, begin)
+        self.sim.call_at(start + duration, finish)
+        self.log.append(fault)
+        return fault
+
     def random_outages(
         self,
         target: Failable,

@@ -21,9 +21,11 @@ from typing import Dict, List, Optional, Tuple
 
 from repro._types import Key, KeyRange
 from repro.core.linked_cache import LinkedCache, LinkedCacheConfig
+from repro.resilience.retry import RetryPolicy
 from repro.sharding.assignment import Assignment
 from repro.sharding.autosharder import AutoSharder
 from repro.sim.kernel import Simulation, Timeout
+from repro.sim.metrics import MetricsRegistry
 from repro.storage.errors import ConflictError
 from repro.storage.kv import MVCCStore
 from repro.workqueue.state_cache import StateCache
@@ -102,7 +104,27 @@ class WatchWorker:
             yield Timeout(cost)
             if not self.up:
                 continue  # crashed mid-task: no completion write
-            if self._complete(row_key):
+            outcome = self._complete(row_key)
+            # a commit conflict is transient (another writer touched the
+            # row); with a retry policy we back off and re-attempt the
+            # conditional write instead of abandoning work already done
+            policy = self.pool.complete_retry
+            attempt = 1
+            started = self.sim.now()
+            while (
+                outcome == "conflict"
+                and policy is not None
+                and policy.allows(attempt + 1, started, self.sim.now())
+            ):
+                yield Timeout(policy.backoff(attempt, self.sim.rng))
+                if not self.up:
+                    break
+                attempt += 1
+                self.pool.metrics.counter(
+                    "resilience.workqueue.complete_retries"
+                ).inc()
+                outcome = self._complete(row_key)
+            if outcome == "done":
                 self.pool.stats.record(task, self.sim.now(), warm)
 
     def _pick(self) -> Optional[Tuple[Key, Task]]:
@@ -125,14 +147,18 @@ class WatchWorker:
             return None
         return (best[1], best[2])
 
-    def _complete(self, row_key: Key) -> bool:
-        """Conditionally mark done; False if someone else already did."""
+    def _complete(self, row_key: Key) -> str:
+        """Conditional completion write.
+
+        Returns ``"done"`` (we committed it), ``"taken"`` (someone else
+        already completed it — not retryable), or ``"conflict"`` (the
+        commit raced another writer — retryable)."""
         self._skip.add(row_key)
         txn = self.pool.store.transaction()
         row = txn.get(row_key)
         if row is None or row.get("state") != "pending":
             txn.abort()
-            return False
+            return "taken"
         done = dict(row)
         done["state"] = "done"
         txn.put(row_key, done)
@@ -140,8 +166,8 @@ class WatchWorker:
             txn.commit()
         except ConflictError:
             self.pool.conflicts += 1
-            return False
-        return True
+            return "conflict"
+        return "done"
 
     # ------------------------------------------------------------------
     # failure model
@@ -171,6 +197,8 @@ class WatchWorkerPool:
         cache_capacity: int = 256,
         prioritize: bool = True,
         idle_poll: float = 0.02,
+        complete_retry: Optional[RetryPolicy] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.sim = sim
         self.store = store
@@ -180,6 +208,11 @@ class WatchWorkerPool:
         self.cache_capacity = cache_capacity
         self.prioritize = prioritize
         self.idle_poll = idle_poll
+        #: backoff schedule for retrying completion-write conflicts;
+        #: None keeps the legacy abandon-on-conflict behaviour (the task
+        #: is redone from scratch by whoever picks it next)
+        self.complete_retry = complete_retry
+        self.metrics = metrics or MetricsRegistry()
         self.stats = TaskStats()
         self.conflicts = 0
         self.workers: Dict[str, WatchWorker] = {}

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.bench.experiments import e6b_reconcile, e9_quadrants
+from repro.bench.experiments import e6b_reconcile, e9_quadrants, e10_chaos_soak
 
 
 def _rows(result):
@@ -17,6 +17,18 @@ def test_e9_replays_identically():
 def test_e6b_replays_identically():
     params = dict(num_vms=12, num_workloads=4, duration=15.0, settle=5.0, seed=79)
     assert _rows(e6b_reconcile.run(**params)) == _rows(e6b_reconcile.run(**params))
+
+
+def test_e10_replays_identically():
+    # retry jitter, fault schedules, and loss draws all come from the
+    # sim RNG: the chaos soak must replay exactly
+    params = dict(
+        configs=("pubsub-reliable", "watch-fireforget"),
+        num_keys=25, update_rate=15.0, duration=10.0, drain=8.0, seed=31,
+    )
+    assert _rows(e10_chaos_soak.run(**params)) == _rows(
+        e10_chaos_soak.run(**params)
+    )
 
 
 def test_seed_changes_outcomes():

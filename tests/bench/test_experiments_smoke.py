@@ -16,6 +16,7 @@ from repro.bench.experiments import (
     e7_snapshot_stitch,
     e8_efficiency,
     e9_quadrants,
+    e10_chaos_soak,
 )
 
 
@@ -90,3 +91,20 @@ def test_e8_smoke():
 def test_e9_smoke():
     result = e9_quadrants.run(num_keys=20, update_rate=20.0, duration=8.0)
     assert all(result.table("quadrants").column("mirror_complete"))
+
+
+def test_e10_smoke():
+    result = e10_chaos_soak.run(
+        configs=("pubsub-reliable", "pubsub-fireforget"),
+        num_nodes=2, num_keys=30, update_rate=15.0,
+        duration=10.0, drain=8.0, loss_rate=0.1,
+        outage_mean_interval=4.0, outage_mean_duration=0.8,
+        partition_duration=1.0,
+    )
+    table = result.table("chaos soak")
+    reliable = table.row_by("config", "pubsub-reliable")
+    fireforget = table.row_by("config", "pubsub-fireforget")
+    # resilience metrics, surfaced through the registry, end up here
+    assert reliable["retransmits"] > 0
+    assert reliable["lost_updates"] == 0 and reliable["final_stale"] == 0
+    assert fireforget["lost_updates"] > 0

@@ -53,6 +53,36 @@ class TestOutage:
         assert comp.transitions == ["crash"]
 
 
+class TestPartitionWindow:
+    def test_partition_opens_and_heals(self, sim):
+        from repro.sim.network import Network
+
+        net = Network(sim)
+        injector = FailureInjector(sim)
+        fault = injector.partition_window(net, "a", "b", start=1.0, duration=2.0)
+        sim.run(until=0.5)
+        assert not net.is_partitioned("a", "b")
+        sim.run(until=1.5)
+        assert net.is_partitioned("a", "b")
+        assert net.is_partitioned("b", "a")
+        sim.run(until=4.0)
+        assert not net.is_partitioned("a", "b")
+        assert fault.kind == "partition"
+        assert fault.target == "a<->b"
+        assert fault.end == 3.0
+        assert injector.log == [fault]
+        assert injector.metrics.counter("faults.partitions").value == 1
+        assert injector.metrics.counter("faults.heals").value == 1
+
+    def test_zero_duration_rejected(self, sim):
+        from repro.sim.network import Network
+
+        with pytest.raises(ValueError):
+            FailureInjector(sim).partition_window(
+                Network(sim), "a", "b", 1.0, 0.0
+            )
+
+
 class TestRandomOutages:
     def test_outages_within_horizon_and_nonoverlapping(self, sim):
         comp = FakeComponent()

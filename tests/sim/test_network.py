@@ -79,6 +79,39 @@ class TestFaults:
         sim.call_after(0.5, lambda: net.partition("a", "b"))
         sim.run()
         assert inbox == []
+        # the drop happened at delivery time, counted as a partition drop
+        assert net.metrics.counter("net.dropped.partition").value == 1
+        assert net.metrics.counter("net.delivered").value == 0
+
+    def test_destination_down_in_flight_drops(self, sim):
+        # send() succeeded (the message is on the wire) but the
+        # destination crashes before the latency elapses
+        net = Network(sim, NetworkConfig(base_latency=1.0))
+        inbox = collect_endpoint(net, "b")
+        assert net.send("a", "b", 1)
+        sim.call_after(0.5, lambda: net.set_up("b", False))
+        sim.run()
+        assert inbox == []
+        assert net.metrics.counter("net.dropped.down").value == 1
+        assert net.metrics.counter("net.dropped.loss").value == 0
+
+    def test_loss_is_deterministic_under_fixed_seed(self):
+        from tests.conftest import make_sim
+
+        def run(seed):
+            sim = make_sim(seed)
+            net = Network(sim, NetworkConfig(loss_rate=0.3))
+            inbox = collect_endpoint(net, "b")
+            for i in range(200):
+                net.send("a", "b", i)
+            sim.run()
+            return (
+                [p for _, p in inbox],
+                net.metrics.counter("net.dropped.loss").value,
+            )
+
+        assert run(1234) == run(1234)
+        assert run(1234) != run(4321)
 
     def test_loss_rate_statistical(self, sim):
         net = Network(sim, NetworkConfig(loss_rate=0.5))
