@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Docs lint: intra-repo markdown links resolve; architecture is complete.
+
+Two checks, run by CI (see ``.github/workflows/ci.yml``):
+
+1. Every relative link in every tracked ``*.md`` file points at a file
+   or directory that exists (anchors after ``#`` are stripped; external
+   ``http(s)://`` and ``mailto:`` links are skipped).
+2. ``docs/architecture.md`` mentions every package under ``src/repro``
+   by its ``repro.<name>`` dotted name, so new subsystems cannot land
+   without an architecture note.
+
+    python scripts/check_docs.py
+
+Exits nonzero with one line per violation.
+"""
+
+import os
+import re
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+#: markdown inline links: [text](target) — excludes images' inner text
+#: handling because ![alt](target) still matches on the (target) part
+_LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+#: generated / scratch files that may legitimately reference paths
+#: outside the repo or carry tool-generated links (SNIPPETS.md quotes
+#: external repos' own relative links verbatim)
+_SKIP_FILES = {"ISSUE.md", "SNIPPETS.md"}
+
+
+def markdown_files():
+    for dirpath, dirnames, filenames in os.walk(REPO_ROOT):
+        dirnames[:] = [
+            d for d in dirnames
+            if d not in {".git", "__pycache__", ".pytest_cache"}
+        ]
+        for filename in filenames:
+            if filename.endswith(".md"):
+                yield os.path.join(dirpath, filename)
+
+
+def check_links():
+    errors = []
+    for path in markdown_files():
+        rel = os.path.relpath(path, REPO_ROOT)
+        if os.path.basename(path) in _SKIP_FILES:
+            continue
+        with open(path, encoding="utf-8") as fh:
+            text = fh.read()
+        for match in _LINK_RE.finditer(text):
+            target = match.group(1)
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            target_path = target.split("#", 1)[0]
+            if not target_path:
+                continue
+            resolved = os.path.normpath(
+                os.path.join(os.path.dirname(path), target_path)
+            )
+            if not os.path.exists(resolved):
+                errors.append(f"{rel}: broken link -> {target}")
+    return errors
+
+
+def check_architecture_mentions():
+    errors = []
+    architecture = os.path.join(REPO_ROOT, "docs", "architecture.md")
+    with open(architecture, encoding="utf-8") as fh:
+        text = fh.read()
+    src_repro = os.path.join(REPO_ROOT, "src", "repro")
+    packages = sorted(
+        name for name in os.listdir(src_repro)
+        if os.path.isdir(os.path.join(src_repro, name))
+        and not name.startswith("__")
+    )
+    for package in packages:
+        if f"repro.{package}" not in text:
+            errors.append(
+                f"docs/architecture.md: package repro.{package} not mentioned"
+            )
+    return errors
+
+
+def main() -> int:
+    errors = check_links() + check_architecture_mentions()
+    for error in errors:
+        print(error, file=sys.stderr)
+    if errors:
+        print(f"\n{len(errors)} docs lint violation(s)", file=sys.stderr)
+        return 1
+    print("docs lint: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

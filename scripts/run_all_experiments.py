@@ -5,11 +5,18 @@ Used to regenerate the measured sections of EXPERIMENTS.md:
 
     python scripts/run_all_experiments.py > experiments_output.txt
 
+With ``--trace-dir DIR``, experiments that produce causal traces
+(``result.artifacts["tracers"]`` — currently E3 and E10) also export
+one deterministic JSONL file per configuration into DIR; see
+``scripts/trace_report.py`` for rendered reports.
+
 A failing experiment no longer aborts the sweep: its traceback is
 printed in place, the remaining experiments still run, and the script
 exits nonzero with a per-experiment summary so CI catches the breakage.
 """
 
+import argparse
+import os
 import sys
 import time
 import traceback
@@ -17,7 +24,26 @@ import traceback
 from repro.bench import experiments
 
 
+def _export_traces(trace_dir: str, experiment_id: str, result) -> None:
+    tracers = result.artifacts.get("tracers")
+    if not tracers:
+        return
+    os.makedirs(trace_dir, exist_ok=True)
+    for name, tracer in tracers.items():
+        path = os.path.join(trace_dir, f"{experiment_id}-{name}.jsonl")
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.write(tracer.to_jsonl())
+        print(f"(trace exported: {path}, {len(tracer.log)} events)")
+
+
 def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--trace-dir", default=None,
+        help="export per-configuration trace JSONL from traced experiments",
+    )
+    args = parser.parse_args()
+
     failures = {}
     timings = {}
     for experiment_id in experiments.all_ids():
@@ -33,6 +59,8 @@ def main() -> int:
         else:
             timings[experiment_id] = time.time() - started
             print(result.render())
+            if args.trace_dir:
+                _export_traces(args.trace_dir, experiment_id, result)
         print(f"(wall time: {timings[experiment_id]:.1f}s)")
         print()
         print("=" * 72)

@@ -42,6 +42,8 @@ from repro.core.bridge import DirectIngestBridge
 from repro.core.relay import ReliableFanoutEndpoint, ReliableFanoutLink
 from repro.core.linked_cache import LinkedCacheConfig
 from repro.core.watch_system import WatchSystem
+from repro.obs import TraceIndex, Tracer
+from repro.obs.report import trace_summary_row
 from repro.pubsub.broker import Broker
 from repro.resilience.breaker import CircuitBreakerConfig
 from repro.resilience.channel import ChannelConfig
@@ -147,6 +149,13 @@ def run(
          "breaker_trips", "stale_reads_frac", "converged", "t_converge_s",
          "final_stale"],
     )
+    trace_table = result.new_table(
+        "trace summary",
+        ["config", "traced_updates", "delivered", "e2e_p50_ms", "e2e_p99_ms",
+         "wire_lost", "lost_attributed"],
+    )
+    tracers = {}
+    result.artifacts["tracers"] = tracers
     keys = key_universe(num_keys)
 
     for config_name in configs:
@@ -156,6 +165,10 @@ def run(
         store = MVCCStore(clock=sim.now)
         for i, key in enumerate(keys):
             store.put(key, {"v": -1, "i": i})
+        # trace only post-prefill commits: attach after the seed writes
+        tracer = Tracer(sim, name=config_name)
+        tracers[config_name] = tracer
+        tracer.observe_store(store)
         # static assignment: no handoffs — E3 already covers the routing
         # race, so any divergence here is attributable to the transport
         sharder = AutoSharder(
@@ -165,18 +178,19 @@ def run(
         )
         net = Network(sim, NetworkConfig(
             base_latency=base_latency, jitter=net_jitter, loss_rate=loss_rate
-        ))
+        ), tracer=tracer)
         injector = FailureInjector(sim)
         registries = [net.metrics]
 
         if system == "pubsub":
             channel_cfg = _channel_config(reliable, ordered=False)
-            broker = Broker(sim)
+            broker = Broker(sim, tracer=tracer)
             registries.append(broker.metrics)
             nodes = [
                 PubsubCacheNode(
                     sim, f"node-{i}", store, InvalidationMode.NAIVE,
                     config=CacheNodeConfig(fetch_latency=0.01),
+                    tracer=tracer,
                 )
                 for i in range(num_nodes)
             ]
@@ -184,7 +198,7 @@ def run(
             # cannot miss — only the network hop can
             pipeline = FreeInvalidationPipeline(
                 sim, store, broker, sharder, nodes,
-                network=net, resilience=channel_cfg,
+                network=net, resilience=channel_cfg, tracer=tracer,
             )
             remote = pipeline.remote_publisher
             assert remote is not None
@@ -198,22 +212,24 @@ def run(
                 return remote.published - received
         elif system == "watch":
             channel_cfg = _channel_config(reliable, ordered=True)
-            ws_local = WatchSystem(sim, name="src-ws")
+            ws_local = WatchSystem(sim, name="src-ws", tracer=tracer)
             DirectIngestBridge(
                 sim, store.history, ws_local, progress_interval=0.25
             )
-            ws_remote = WatchSystem(sim, name="edge-ws")
+            ws_remote = WatchSystem(sim, name="edge-ws", tracer=tracer)
             endpoint = ReliableFanoutEndpoint(
-                sim, net, "fanout-endpoint", ws_remote, config=channel_cfg
+                sim, net, "fanout-endpoint", ws_remote, config=channel_cfg,
+                tracer=tracer,
             )
             link = ReliableFanoutLink(
                 sim, ws_local, net, "fanout-link", remote="fanout-endpoint",
-                config=channel_cfg,
+                config=channel_cfg, tracer=tracer,
             )
             nodes = [
                 WatchCacheNode(
                     sim, f"node-{i}", store, ws_remote,
                     cache_config=LinkedCacheConfig(snapshot_latency=0.02),
+                    tracer=tracer,
                 )
                 for i in range(num_nodes)
             ]
@@ -284,6 +300,7 @@ def run(
             ),
             final_stale=final_stale,
         )
+        trace_table.add(config=config_name, **trace_summary_row(TraceIndex(tracer.log)))
 
     result.notes.append(
         "lost_updates counts application-level messages the transport "

@@ -45,6 +45,8 @@ from repro.cache.watch_cache import WatchCacheNode
 from repro.core.bridge import PartitionedIngestBridge, even_ranges
 from repro.core.linked_cache import LinkedCacheConfig
 from repro.core.watch_system import WatchSystem
+from repro.obs import TraceIndex, Tracer
+from repro.obs.report import trace_summary_row
 from repro.pubsub.broker import Broker
 from repro.sharding.autosharder import AutoSharder, AutoSharderConfig
 from repro.sharding.leases import LeaseManager
@@ -77,8 +79,8 @@ QUICK = dict(
 )
 
 
-def _build_pubsub(sim, store, sharder, num_nodes, mode, ttl=None):
-    broker = Broker(sim)
+def _build_pubsub(sim, store, sharder, num_nodes, mode, ttl=None, tracer=None):
+    broker = Broker(sim, tracer=tracer)
     leases = None
     if mode is InvalidationMode.LEASE:
         leases = LeaseManager(sim, lease_duration=1.0)
@@ -86,28 +88,34 @@ def _build_pubsub(sim, store, sharder, num_nodes, mode, ttl=None):
         PubsubCacheNode(
             sim, f"node-{i}", store, mode, leases=leases,
             config=CacheNodeConfig(fetch_latency=0.01, ttl=ttl),
+            tracer=tracer,
         )
         for i in range(num_nodes)
     ]
-    pipeline = PubsubInvalidationPipeline(sim, store, broker, sharder, nodes)
+    pipeline = PubsubInvalidationPipeline(
+        sim, store, broker, sharder, nodes, tracer=tracer
+    )
     return nodes, pipeline, leases
 
 
-def _build_free(sim, store, sharder, num_nodes):
-    broker = Broker(sim)
+def _build_free(sim, store, sharder, num_nodes, tracer=None):
+    broker = Broker(sim, tracer=tracer)
     nodes = [
         PubsubCacheNode(
             sim, f"node-{i}", store, InvalidationMode.NAIVE,
             config=CacheNodeConfig(fetch_latency=0.01),
+            tracer=tracer,
         )
         for i in range(num_nodes)
     ]
-    pipeline = FreeInvalidationPipeline(sim, store, broker, sharder, nodes)
+    pipeline = FreeInvalidationPipeline(
+        sim, store, broker, sharder, nodes, tracer=tracer
+    )
     return nodes, pipeline
 
 
-def _build_watch(sim, store, sharder, num_nodes):
-    ws = WatchSystem(sim)
+def _build_watch(sim, store, sharder, num_nodes, tracer=None):
+    ws = WatchSystem(sim, tracer=tracer)
     PartitionedIngestBridge(
         sim, store.history, ws, even_ranges(8), progress_interval=0.2
     )
@@ -115,6 +123,7 @@ def _build_watch(sim, store, sharder, num_nodes):
         WatchCacheNode(
             sim, f"node-{i}", store, ws,
             cache_config=LinkedCacheConfig(snapshot_latency=0.02),
+            tracer=tracer,
         )
         for i in range(num_nodes)
     ]
@@ -148,6 +157,13 @@ def run(
         ["config", "handoffs", "perm_stale", "stale_reads_frac",
          "unavail_frac", "per_node_msgs", "resyncs"],
     )
+    trace_table = result.new_table(
+        "trace summary",
+        ["config", "traced_updates", "delivered", "e2e_p50_ms", "e2e_p99_ms",
+         "wire_lost", "lost_attributed"],
+    )
+    tracers = {}
+    result.artifacts["tracers"] = tracers
     keys = key_universe(num_keys)
 
     for config_name in configs:
@@ -156,6 +172,10 @@ def run(
         # prefill so caches have something to serve
         for i, key in enumerate(keys):
             store.put(key, {"v": -1, "i": i})
+        # trace only post-prefill commits: attach after the seed writes
+        tracer = Tracer(sim, name=config_name)
+        tracers[config_name] = tracer
+        tracer.observe_store(store)
         sharder = AutoSharder(
             sim, [f"node-{i}" for i in range(num_nodes)],
             # assignment propagation takes up to ~300ms — the realistic
@@ -174,25 +194,32 @@ def run(
         ws = None
         if config_name == "pubsub-naive":
             nodes, pipeline, _ = _build_pubsub(
-                sim, store, sharder, num_nodes, InvalidationMode.NAIVE
+                sim, store, sharder, num_nodes, InvalidationMode.NAIVE,
+                tracer=tracer,
             )
         elif config_name == "pubsub-owner":
             nodes, pipeline, _ = _build_pubsub(
-                sim, store, sharder, num_nodes, InvalidationMode.OWNER_ACK
+                sim, store, sharder, num_nodes, InvalidationMode.OWNER_ACK,
+                tracer=tracer,
             )
         elif config_name == "pubsub-lease":
             nodes, pipeline, leases = _build_pubsub(
-                sim, store, sharder, num_nodes, InvalidationMode.LEASE
+                sim, store, sharder, num_nodes, InvalidationMode.LEASE,
+                tracer=tracer,
             )
         elif config_name == "pubsub-free":
-            nodes, pipeline = _build_free(sim, store, sharder, num_nodes)
+            nodes, pipeline = _build_free(
+                sim, store, sharder, num_nodes, tracer=tracer
+            )
         elif config_name == "pubsub-ttl":
             nodes, pipeline, _ = _build_pubsub(
                 sim, store, sharder, num_nodes, InvalidationMode.NAIVE,
-                ttl=duration / 4.0,
+                ttl=duration / 4.0, tracer=tracer,
             )
         elif config_name == "watch":
-            nodes, ws = _build_watch(sim, store, sharder, num_nodes)
+            nodes, ws = _build_watch(
+                sim, store, sharder, num_nodes, tracer=tracer
+            )
         else:
             raise ValueError(f"unknown config {config_name!r}")
 
@@ -260,6 +287,7 @@ def run(
             per_node_msgs=max(per_node_msgs) if per_node_msgs else 0,
             resyncs=resyncs,
         )
+        trace_table.add(config=config_name, **trace_summary_row(TraceIndex(tracer.log)))
 
     result.notes.append(
         "perm_stale counts cached entries still serving outdated values "

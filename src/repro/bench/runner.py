@@ -79,6 +79,9 @@ class ExperimentResult:
     tables: List[Table] = field(default_factory=list)
     series: Dict[str, Sequence[Tuple[float, float]]] = field(default_factory=dict)
     notes: List[str] = field(default_factory=list)
+    #: non-rendered payloads (e.g. per-config ``repro.obs`` tracers for
+    #: trace-report generation and JSONL export); never printed
+    artifacts: Dict[str, Any] = field(default_factory=dict)
 
     def table(self, title: str) -> Table:
         for table in self.tables:

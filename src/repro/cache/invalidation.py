@@ -54,6 +54,7 @@ def _networked_cdc(
     topic: str,
     network: Network,
     resilience: Optional[ChannelConfig],
+    tracer=None,
 ) -> tuple:
     """Build the CDC→broker path across the simulated network.
 
@@ -65,10 +66,11 @@ def _networked_cdc(
     broker.attach_network(network, endpoint=f"{topic}-broker", config=resilience)
     remote = RemotePublisher(
         sim, network, f"{topic}-cdc", broker_endpoint=f"{topic}-broker",
-        config=resilience, metrics=broker.metrics,
+        config=resilience, metrics=broker.metrics, tracer=tracer,
     )
     publisher = CdcPublisher(
-        sim, store.history, broker, topic, publish_fn=remote.publish
+        sim, store.history, broker, topic, publish_fn=remote.publish,
+        tracer=tracer,
     )
     return publisher, remote
 
@@ -90,8 +92,9 @@ class PubsubCacheNode(CacheNode):
         mode: InvalidationMode,
         leases: Optional[LeaseManager] = None,
         config: Optional[CacheNodeConfig] = None,
+        tracer=None,
     ) -> None:
-        super().__init__(sim, name, store, config)
+        super().__init__(sim, name, store, config, tracer=tracer)
         if mode is InvalidationMode.LEASE and leases is None:
             raise ValueError("LEASE mode requires a LeaseManager")
         self.mode = mode
@@ -166,6 +169,7 @@ class PubsubInvalidationPipeline:
         subscribe_nodes: bool = True,
         network: Optional[Network] = None,
         resilience: Optional[ChannelConfig] = None,
+        tracer=None,
     ) -> None:
         self.sim = sim
         self.store = store
@@ -184,10 +188,12 @@ class PubsubInvalidationPipeline:
         self.remote_publisher: Optional[RemotePublisher] = None
         if network is not None:
             self.publisher, self.remote_publisher = _networked_cdc(
-                sim, store, broker, topic, network, resilience
+                sim, store, broker, topic, network, resilience, tracer=tracer
             )
         else:
-            self.publisher = CdcPublisher(sim, store.history, broker, topic)
+            self.publisher = CdcPublisher(
+                sim, store.history, broker, topic, tracer=tracer
+            )
         self.group = broker.consumer_group(
             topic,
             f"{topic}-caches",
@@ -238,11 +244,12 @@ class PubsubInvalidationPipeline:
         topic: str = "invalidations",
         network: Optional[Network] = None,
         resilience: Optional[ChannelConfig] = None,
+        tracer=None,
     ) -> "FreeInvalidationPipeline":
         """Build the free-consumer variant instead (§3.2.2 fallback)."""
         return FreeInvalidationPipeline(
             sim, store, broker, sharder, nodes, topic,
-            network=network, resilience=resilience,
+            network=network, resilience=resilience, tracer=tracer,
         )
 
 
@@ -264,6 +271,7 @@ class FreeInvalidationPipeline:
         topic: str = "invalidations",
         network: Optional[Network] = None,
         resilience: Optional[ChannelConfig] = None,
+        tracer=None,
     ) -> None:
         self.sim = sim
         self.nodes = nodes
@@ -271,10 +279,12 @@ class FreeInvalidationPipeline:
         self.remote_publisher: Optional[RemotePublisher] = None
         if network is not None:
             self.publisher, self.remote_publisher = _networked_cdc(
-                sim, store, broker, topic, network, resilience
+                sim, store, broker, topic, network, resilience, tracer=tracer
             )
         else:
-            self.publisher = CdcPublisher(sim, store.history, broker, topic)
+            self.publisher = CdcPublisher(
+                sim, store.history, broker, topic, tracer=tracer
+            )
         self._consumers: List[Consumer] = []
         for node in nodes:
             def handler(message: Message, node: PubsubCacheNode = node) -> bool:

@@ -16,6 +16,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro._types import Key, KeyRange, Version
+from repro.obs.trace import hops
 from repro.sharding.assignment import Assignment
 from repro.sim.kernel import Simulation
 from repro.storage.kv import MVCCStore
@@ -56,11 +57,13 @@ class CacheNode:
         name: str,
         store: MVCCStore,
         config: Optional[CacheNodeConfig] = None,
+        tracer=None,
     ) -> None:
         self.sim = sim
         self.name = name
         self.store = store
         self.config = config or CacheNodeConfig()
+        self.tracer = tracer
         self._entries: Dict[Key, CacheEntry] = {}
         self._owned: List[KeyRange] = []
         self._owned_generation = -1
@@ -143,9 +146,17 @@ class CacheNode:
         """Drop the cached entry if it is older than ``version``; the
         next read refills from the store."""
         entry = self._entries.get(key)
-        if entry is not None and entry.version < version:
+        applied = entry is not None and entry.version < version
+        if applied:
             del self._entries[key]
             self.invalidations_applied += 1
+        if self.tracer is not None:
+            # recorded even when no entry was dropped: the invalidation
+            # *reached* this node, which is what the causal chain tracks
+            self.tracer.record(
+                hops.CACHE_APPLY, self.name,
+                key=key, version=version, node=self.name, applied=applied,
+            )
 
     # ------------------------------------------------------------------
     # inspection (experiments / audits)

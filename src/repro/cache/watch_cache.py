@@ -36,12 +36,14 @@ class WatchCacheNode:
         store: MVCCStore,
         watchable,
         cache_config: Optional[LinkedCacheConfig] = None,
+        tracer=None,
     ) -> None:
         self.sim = sim
         self.name = name
         self.store = store
         self.watchable = watchable
         self.cache_config = cache_config or LinkedCacheConfig(snapshot_latency=0.02)
+        self.tracer = tracer
         self._caches: Dict[KeyRange, LinkedCache] = {}
         self._owned_generation = -1
         self.hits = 0
@@ -68,6 +70,7 @@ class WatchCacheNode:
                     key_range,
                     config=self.cache_config,
                     name=f"{self.name}:{key_range}",
+                    tracer=self.tracer,
                 )
                 self._caches[key_range] = cache
                 cache.start()

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, List, Optional
 
 from repro._types import Key, Mutation, Version
+from repro.obs.trace import hops
 from repro.storage.history import ChangeHistory, CommittedTransaction
 
 
@@ -48,8 +49,11 @@ RecordSink = Callable[[ChangeRecord], None]
 class CdcCapture:
     """Tails a history, fanning each commit out as change records."""
 
-    def __init__(self, history: ChangeHistory, sink: RecordSink) -> None:
+    def __init__(
+        self, history: ChangeHistory, sink: RecordSink, tracer=None
+    ) -> None:
         self._sink = sink
+        self.tracer = tracer
         self.records_emitted = 0
         self.commits_captured = 0
         self._cancel = history.tail(self._on_commit)
@@ -62,6 +66,11 @@ class CdcCapture:
         size = len(commit.writes)
         for index, (key, mutation) in enumerate(commit.writes):
             self.records_emitted += 1
+            if self.tracer is not None:
+                self.tracer.record(
+                    hops.CDC_CAPTURE, "cdc",
+                    key=key, version=commit.version, txn_size=size,
+                )
             self._sink(
                 ChangeRecord(
                     key=key,

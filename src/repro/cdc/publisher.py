@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Any, Callable, Optional
 
 from repro.cdc.capture import CdcCapture, ChangeRecord
+from repro.obs.trace import hops
 from repro.pubsub.broker import Broker
 from repro.sim.kernel import Simulation
 from repro.storage.history import ChangeHistory
@@ -33,6 +34,7 @@ class CdcPublisher:
         topic: str,
         publish_latency: float = 0.001,
         publish_fn: Optional[PublishFn] = None,
+        tracer=None,
     ) -> None:
         if publish_latency < 0:
             raise ValueError("publish_latency must be >= 0")
@@ -42,13 +44,14 @@ class CdcPublisher:
         self.broker = broker
         self.topic = topic
         self.publish_latency = publish_latency
+        self.tracer = tracer
         if publish_fn is not None:
             self._publish = publish_fn
         else:
             assert broker is not None
             self._publish = broker.publish
         self.published = 0
-        self._capture = CdcCapture(history, self._on_record)
+        self._capture = CdcCapture(history, self._on_record, tracer=tracer)
 
     def close(self) -> None:
         self._capture.close()
@@ -62,10 +65,17 @@ class CdcPublisher:
             "txn_size": record.txn_size,
         }
         self.published += 1
-        if self.publish_latency > 0:
-            self.sim.call_after(
-                self.publish_latency,
-                lambda: self._publish(self.topic, record.key, payload),
-            )
-        else:
+
+        def publish() -> None:
+            if self.tracer is not None:
+                self.tracer.record(
+                    hops.CDC_PUBLISH, "cdc",
+                    key=record.key, version=record.txn_version,
+                    topic=self.topic,
+                )
             self._publish(self.topic, record.key, payload)
+
+        if self.publish_latency > 0:
+            self.sim.call_after(self.publish_latency, publish)
+        else:
+            publish()

@@ -35,6 +35,7 @@ from repro.core.events import ChangeEvent, ProgressEvent
 from repro.core.knowledge import KnowledgeMap
 from repro.core.stream import WatcherConfig
 from repro.core.versioned_map import VersionedMap
+from repro.obs.trace import hops
 from repro.resilience.breaker import CircuitBreaker, CircuitBreakerConfig
 from repro.resilience.retry import RetryPolicy
 from repro.sim.kernel import Simulation
@@ -94,6 +95,7 @@ class LinkedCache(WatchCallback):
         config: Optional[LinkedCacheConfig] = None,
         name: str = "cache",
         metrics: Optional[MetricsRegistry] = None,
+        tracer=None,
     ) -> None:
         self.sim = sim
         self.watchable = watchable
@@ -102,6 +104,7 @@ class LinkedCache(WatchCallback):
         self.config = config or LinkedCacheConfig()
         self.name = name
         self.metrics = metrics or MetricsRegistry()
+        self.tracer = tracer
         self._snapshot_failures = 0
         self._source_breaker: Optional[CircuitBreaker] = None
         if self.config.source_breaker is not None:
@@ -254,6 +257,11 @@ class LinkedCache(WatchCallback):
             return
         self._consecutive_resyncs = 0  # forward progress
         self.events_applied += 1
+        if self.tracer is not None:
+            self.tracer.record(
+                hops.WATCH_APPLY, self.name,
+                key=event.key, version=event.version, cache=self.name,
+            )
         self.data.apply(event.key, event.mutation, event.version)
 
     def on_progress(self, event: ProgressEvent) -> None:

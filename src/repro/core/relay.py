@@ -37,6 +37,7 @@ from repro.core.linked_cache import (
 )
 from repro.core.stream import WatcherConfig
 from repro.core.watch_system import WatchSystem, WatchSystemConfig
+from repro.obs.trace import hops
 from repro.resilience.channel import ChannelConfig, ReliableChannel
 from repro.sim.kernel import Simulation
 from repro.sim.metrics import MetricsRegistry
@@ -55,10 +56,13 @@ class WatchRelay(LinkedCache, Watchable):
         config: Optional[LinkedCacheConfig] = None,
         fanout_config: Optional[WatchSystemConfig] = None,
         name: str = "relay",
+        tracer=None,
     ) -> None:
-        super().__init__(sim, upstream, snapshot_fn, key_range, config, name)
+        super().__init__(
+            sim, upstream, snapshot_fn, key_range, config, name, tracer=tracer
+        )
         self.fanout = WatchSystem(
-            sim, fanout_config, name=f"{name}-fanout"
+            sim, fanout_config, name=f"{name}-fanout", tracer=tracer
         )
         self._synced_once = False
 
@@ -167,16 +171,18 @@ class ReliableFanoutLink(WatchCallback):
         config: Optional[ChannelConfig] = None,
         watcher_config: Optional[WatcherConfig] = None,
         metrics: Optional[MetricsRegistry] = None,
+        tracer=None,
     ) -> None:
         self.sim = sim
         self.upstream = upstream
         self.remote = remote
         self.key_range = key_range or KeyRange(KEY_MIN, KEY_MAX)
         self.watcher_config = watcher_config
+        self.tracer = tracer if tracer is not None else net.tracer
         if config is None:
             config = ChannelConfig(ordered=True)
         self.channel = ReliableChannel(
-            sim, net, name, config=config, metrics=metrics
+            sim, net, name, config=config, metrics=metrics, tracer=tracer
         )
         self.events_shipped = 0
         self.progress_shipped = 0
@@ -189,7 +195,13 @@ class ReliableFanoutLink(WatchCallback):
 
     def on_event(self, event: ChangeEvent) -> None:
         self.events_shipped += 1
-        self.channel.send(self.remote, {"kind": "event", "event": event})
+        seq = self.channel.send(self.remote, {"kind": "event", "event": event})
+        if self.tracer is not None:
+            self.tracer.record(
+                hops.RELAY_SHIP, self.channel.name,
+                key=event.key, version=event.version,
+                channel=self.channel.name, dst=self.remote, seq=seq,
+            )
 
     def on_progress(self, event: ProgressEvent) -> None:
         self.progress_shipped += 1
@@ -227,22 +239,31 @@ class ReliableFanoutEndpoint:
         ingester: Ingester,
         config: Optional[ChannelConfig] = None,
         metrics: Optional[MetricsRegistry] = None,
+        tracer=None,
     ) -> None:
         self.ingester = ingester
         self.events_ingested = 0
         self.link_resyncs = 0
+        self.tracer = tracer if tracer is not None else net.tracer
         if config is None:
             config = ChannelConfig(ordered=True)
         self.channel = ReliableChannel(
             sim, net, name, handler=self._on_frame, config=config,
-            metrics=metrics,
+            metrics=metrics, tracer=tracer,
         )
 
     def _on_frame(self, src: str, frame: Dict[str, Any]) -> None:
         kind = frame["kind"]
         if kind == "event":
             self.events_ingested += 1
-            self.ingester.append(frame["event"])
+            event = frame["event"]
+            if self.tracer is not None:
+                self.tracer.record(
+                    hops.RELAY_INGEST, self.channel.name,
+                    key=event.key, version=event.version,
+                    endpoint=self.channel.name,
+                )
+            self.ingester.append(event)
         elif kind == "progress":
             self.ingester.progress(frame["event"])
         else:  # resync: push the gap down to our own watchers

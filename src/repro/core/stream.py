@@ -23,6 +23,7 @@ from typing import Callable, Deque, Optional, Tuple, Union
 from repro._types import KeyRange, Version
 from repro.core.api import Cancellable, WatchCallback
 from repro.core.events import ChangeEvent, ProgressEvent
+from repro.obs.trace import hops
 from repro.sim.kernel import Simulation
 
 
@@ -59,6 +60,8 @@ class WatcherSession(Cancellable):
         config: WatcherConfig,
         on_closed: Optional[Callable[["WatcherSession"], None]] = None,
         predicate: Optional[Callable[[ChangeEvent], bool]] = None,
+        tracer=None,
+        label: str = "watcher",
     ) -> None:
         self.sim = sim
         self.key_range = key_range
@@ -66,6 +69,8 @@ class WatcherSession(Cancellable):
         self.callback = callback
         self.config = config
         self._on_closed = on_closed
+        self.tracer = tracer
+        self.label = label
         #: optional server-side event filter (k8s-selector style); the
         #: consumer receives only matching events.  Progress semantics
         #: are unchanged: progress still means "all *matching* events
@@ -172,6 +177,11 @@ class WatcherSession(Cancellable):
             return
         if item is _RESYNC:
             self.resyncs_signalled += 1
+            if self.tracer is not None:
+                self.tracer.record(
+                    hops.WATCH_RESYNC, self.label,
+                    watcher=self.label, dropped=self.overflow_drops,
+                )
             # the session ends; the client must snapshot + re-watch
             self._active = False
             if self._on_closed is not None:
@@ -182,6 +192,11 @@ class WatcherSession(Cancellable):
             self.events_delivered += 1
             if item.version > self.delivered_version:
                 self.delivered_version = item.version
+            if self.tracer is not None:
+                self.tracer.record(
+                    hops.WATCH_DELIVER, self.label,
+                    key=item.key, version=item.version, watcher=self.label,
+                )
             self.callback.on_event(item)
         else:
             self.progress_delivered += 1

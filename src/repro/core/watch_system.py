@@ -32,6 +32,7 @@ from repro._types import Key, KeyRange, Version, VERSION_ZERO
 from repro.core.api import Cancellable, Ingester, Watchable, WatchCallback
 from repro.core.events import ChangeEvent, ProgressEvent
 from repro.core.stream import WatcherConfig, WatcherSession
+from repro.obs.trace import hops
 from repro.sim.kernel import Simulation
 from repro.sim.metrics import MetricsRegistry
 
@@ -61,11 +62,14 @@ class WatchSystem(Watchable, Ingester):
         config: Optional[WatchSystemConfig] = None,
         metrics: Optional[MetricsRegistry] = None,
         name: str = "watchsys",
+        tracer=None,
     ) -> None:
         self.sim = sim
         self.config = config or WatchSystemConfig()
         self.metrics = metrics or MetricsRegistry()
         self.name = name
+        self.tracer = tracer
+        self._session_seq = 0  # deterministic per-session trace labels
         #: buffered events in ingest order (version order within any
         #: one ingest range, by the Ingester contract)
         self._buffer: Deque[ChangeEvent] = deque()
@@ -85,6 +89,11 @@ class WatchSystem(Watchable, Ingester):
 
     def append(self, event: ChangeEvent) -> None:
         self.events_ingested += 1
+        if self.tracer is not None:
+            self.tracer.record(
+                hops.WATCH_INGEST, self.name,
+                key=event.key, version=event.version, system=self.name,
+            )
         self._buffer.append(event)
         if len(self._buffer) > self.soft_state_peak_events:
             self.soft_state_peak_events = len(self._buffer)
@@ -126,6 +135,8 @@ class WatchSystem(Watchable, Ingester):
             callback=callback,
             config=self.config.watcher_defaults,
             on_closed=self._session_closed,
+            tracer=self.tracer,
+            label=self._next_label(),
         )
         self._sessions.append(session)
         self.metrics.counter(f"watch.{self.name}.watches").inc()
@@ -158,6 +169,8 @@ class WatchSystem(Watchable, Ingester):
             config=config or self.config.watcher_defaults,
             on_closed=self._session_closed,
             predicate=predicate,
+            tracer=self.tracer,
+            label=self._next_label(),
         )
         self._sessions.append(session)
         self.metrics.counter(f"watch.{self.name}.watches").inc()
@@ -170,6 +183,10 @@ class WatchSystem(Watchable, Ingester):
         for mark_range, mark_version in self._progress_marks.items():
             session.offer_progress(ProgressEvent(mark_range.low, mark_range.high, mark_version))
         return session
+
+    def _next_label(self) -> str:
+        self._session_seq += 1
+        return f"{self.name}#{self._session_seq}"
 
     def _session_closed(self, session: WatcherSession) -> None:
         if session in self._sessions:

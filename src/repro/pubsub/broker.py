@@ -19,6 +19,7 @@ from repro.pubsub.dlq import DeadLetterPolicy
 from repro.pubsub.errors import PubsubError, UnknownTopicError
 from repro.pubsub.log import CompactionPolicy, RetentionPolicy
 from repro.pubsub.message import Message
+from repro.obs.trace import hops, payload_version
 from repro.pubsub.subscription import RoutingPolicy, Subscription, SubscriptionConfig
 from repro.pubsub.topic import Topic
 from repro.resilience.channel import ChannelConfig, ReliableChannel
@@ -50,10 +51,12 @@ class Broker:
         sim: Simulation,
         config: BrokerConfig = BrokerConfig(),
         metrics: Optional[MetricsRegistry] = None,
+        tracer=None,
     ) -> None:
         self.sim = sim
         self.config = config
         self.metrics = metrics or MetricsRegistry()
+        self.tracer = tracer
         self._topics: Dict[str, Topic] = {}
         self._subscriptions: Dict[str, List[Subscription]] = {}
         self._sweeps_started = False
@@ -135,6 +138,13 @@ class Broker:
         topic = self.topic(topic_name)
         message = topic.append(key, payload)
         self.metrics.counter("pubsub.published").inc()
+        if self.tracer is not None:
+            self.tracer.record(
+                hops.PUBSUB_APPEND, "broker",
+                key=key, version=payload_version(payload),
+                topic=topic_name, partition=message.partition,
+                offset=message.offset,
+            )
 
         def wake() -> None:
             for subscription in self._subscriptions[topic_name]:
@@ -175,6 +185,7 @@ class Broker:
             config=config,
             metrics=self.metrics,
             dlq_append=dlq_append,
+            tracer=self.tracer,
         )
         self._subscriptions[topic_name].append(subscription)
         return subscription
@@ -255,11 +266,13 @@ class RemotePublisher:
         broker_endpoint: str = "broker",
         config: Optional[ChannelConfig] = None,
         metrics: Optional[MetricsRegistry] = None,
+        tracer=None,
     ) -> None:
         self.sim = sim
         self.broker_endpoint = broker_endpoint
+        self.tracer = tracer if tracer is not None else net.tracer
         self.channel = ReliableChannel(
-            sim, net, name, config=config, metrics=metrics
+            sim, net, name, config=config, metrics=metrics, tracer=tracer
         )
         self.published = 0
         self.delivered = 0
@@ -268,19 +281,37 @@ class RemotePublisher:
     def publish(self, topic: str, key: Optional[str], payload: Any) -> None:
         """Ship one publish command across the network."""
         self.published += 1
+        version = payload_version(payload)
 
         def delivered() -> None:
             self.delivered += 1
+            if self.tracer is not None:
+                self.tracer.record(
+                    hops.PUBLISH_ACKED, self.channel.name,
+                    key=key, version=version, seq=seq,
+                )
 
         def gaveup() -> None:
             self.lost += 1
+            if self.tracer is not None:
+                self.tracer.record(
+                    hops.PUBLISH_GAVEUP, self.channel.name,
+                    key=key, version=version, seq=seq,
+                )
 
-        self.channel.send(
+        seq = self.channel.send(
             self.broker_endpoint,
             {"topic": topic, "key": key, "payload": payload},
             on_delivered=delivered,
             on_giveup=gaveup,
         )
+        if self.tracer is not None:
+            self.tracer.record(
+                hops.PUBLISH_SEND, self.channel.name,
+                key=key, version=version,
+                channel=self.channel.name, dst=self.broker_endpoint,
+                seq=seq, topic=topic,
+            )
 
     # Failable protocol: a crashed publisher stops transmitting but
     # keeps its unacked frames; recovery re-kicks them.

@@ -30,6 +30,7 @@ import hashlib
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional
 
+from repro.obs.trace import hops, payload_version
 from repro.pubsub.dlq import DeadLetterPolicy
 from repro.pubsub.message import Message
 from repro.pubsub.topic import Topic
@@ -100,6 +101,7 @@ class Subscription:
         config: SubscriptionConfig = SubscriptionConfig(),
         metrics: Optional[MetricsRegistry] = None,
         dlq_append: Optional[Callable[[Message], None]] = None,
+        tracer=None,
     ) -> None:
         self.sim = sim
         self.name = name
@@ -107,6 +109,7 @@ class Subscription:
         self.config = config
         self.metrics = metrics or MetricsRegistry()
         self._dlq_append = dlq_append
+        self.tracer = tracer
         self._members: Dict[str, "Consumer"] = {}
         self._member_order: List[str] = []  # stable order for assignment
         self._partition_assignment: Dict[int, str] = {}
@@ -228,6 +231,16 @@ class Subscription:
         self.lost_to_gc += below_floor
         self.lost_to_compaction += gap - below_floor
         self.metrics.counter(f"pubsub.sub.{self.name}.lost").inc(gap)
+        if self.tracer is not None:
+            # identity-less: the messages are gone, so the TraceIndex
+            # recovers (key, version) from its pubsub.append offset map
+            self.tracer.record(
+                hops.PUBSUB_GAP, "broker",
+                subscription=self.name, topic=log.topic,
+                partition=log.partition,
+                from_offset=state.fetch_offset, to_offset=next_present,
+                gc_floor=log.gc_floor,
+            )
 
     def _dispatch(self, partition: int, message: Message, attempts: int) -> None:
         state = self._state[partition]
@@ -248,6 +261,13 @@ class Subscription:
         self.delivered += 1
         if attempts > 1:
             self.redelivered += 1
+        if self.tracer is not None:
+            self.tracer.record(
+                hops.PUBSUB_DELIVER, "broker",
+                key=message.key, version=payload_version(message.payload),
+                subscription=self.name, member=member,
+                partition=partition, offset=message.offset, attempts=attempts,
+            )
         self.sim.call_after(
             delay,
             lambda: consumer.deliver(
@@ -298,6 +318,13 @@ class Subscription:
             inflight.deadline_handle.cancel()
         state.acked += 1
         self.acked += 1
+        if self.tracer is not None:
+            message = inflight.message
+            self.tracer.record(
+                hops.PUBSUB_ACK, "broker",
+                key=message.key, version=payload_version(message.payload),
+                subscription=self.name, partition=partition, offset=offset,
+            )
         self.pump(partition)
 
     def nack(self, partition: int, offset: int) -> None:
@@ -309,6 +336,14 @@ class Subscription:
             return
         if inflight.deadline_handle is not None:
             inflight.deadline_handle.cancel()
+        if self.tracer is not None:
+            message = inflight.message
+            self.tracer.record(
+                hops.PUBSUB_NACK, "broker",
+                key=message.key, version=payload_version(message.payload),
+                subscription=self.name, partition=partition, offset=offset,
+                attempts=inflight.attempts,
+            )
         if self._maybe_dead_letter(partition, inflight):
             return
         self._dispatch(partition, inflight.message, attempts=inflight.attempts + 1)

@@ -16,6 +16,24 @@ machine:
 
 State transitions are recorded (for experiment tables) and counted in
 the metrics registry under ``resilience.breaker.<name>.*``.
+
+Usage::
+
+    breaker = CircuitBreaker(sim, "to-edge", CircuitBreakerConfig(
+        failure_threshold=5, cooldown=1.0))
+
+    if breaker.allow():                  # gate the call
+        ok = net.send(src, dst, frame)
+        if ok:
+            breaker.record_success()     # report the outcome
+        else:
+            breaker.record_failure()
+    else:
+        ...  # fast-fail: queue or shed without touching the wire
+
+:class:`ReliableChannel` wires exactly this pattern around every
+retransmit when a ``breaker`` config is set; E10 reads the trip count
+out of the registry.
 """
 
 from __future__ import annotations

@@ -29,6 +29,23 @@ All counters live in the metrics registry under
 ``resilience.<channel>.*`` (sent, transmits, retransmits,
 retransmit_bytes, acked, gaveup, received, duplicates_dropped,
 held_for_order).
+
+Usage::
+
+    net = Network(sim, NetworkConfig(loss_rate=0.05))
+    rx = ReliableChannel(sim, net, "rx", handler=lambda src, p: seen.append(p))
+    tx = ReliableChannel(sim, net, "tx",
+                         config=ChannelConfig(retry=RetryPolicy.unbounded()))
+    tx.send("rx", {"hello": 1},
+            on_delivered=lambda: print("acked"),
+            on_giveup=lambda: print("abandoned"))
+    sim.run_for(5.0)   # retransmits ride the kernel until the ack lands
+
+With a :class:`~repro.obs.trace.Tracer` on the network (or passed as
+``tracer=``), the channel records ``channel.*`` trace events —
+transmits, acks, giveups, and fire-and-forget sends attempted while
+crashed — keyed by ``(channel, dst, seq)`` so loss provenance can name
+the exact hop that lost an update.
 """
 
 from __future__ import annotations
@@ -36,6 +53,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from repro.obs.trace import hops
 from repro.sim.kernel import EventHandle, Simulation
 from repro.sim.metrics import MetricsRegistry
 from repro.sim.network import Network
@@ -107,6 +125,7 @@ class ReliableChannel:
         handler: Optional[Handler] = None,
         config: Optional[ChannelConfig] = None,
         metrics: Optional[MetricsRegistry] = None,
+        tracer=None,
     ) -> None:
         self.sim = sim
         self.net = net
@@ -114,6 +133,7 @@ class ReliableChannel:
         self.handler = handler
         self.config = config or ChannelConfig()
         self.metrics = metrics if metrics is not None else net.metrics
+        self.tracer = tracer if tracer is not None else net.tracer
         self.up = True
         net.register(name, self._on_frame)
         self._next_seq: Dict[str, int] = {}
@@ -148,7 +168,19 @@ class ReliableChannel:
         if not self.config.reliable:
             if self.up:
                 self.metrics.counter(self._metric("transmits")).inc()
+                if self.tracer is not None:
+                    self.tracer.record(
+                        hops.CHANNEL_TRANSMIT, self.name,
+                        channel=self.name, dst=dst, seq=seq, attempt=1,
+                    )
                 self.net.send(self.name, dst, _DataFrame(seq, payload, needs_ack=False))
+            elif self.tracer is not None:
+                # fire-and-forget while crashed: the frame is silently
+                # lost at the sender — record it for loss provenance
+                self.tracer.record(
+                    hops.CHANNEL_SENDER_DOWN, self.name,
+                    channel=self.name, dst=dst, seq=seq,
+                )
             return seq
         pending = _Pending(
             dst, seq, payload, self.sim.now(),
@@ -197,6 +229,12 @@ class ReliableChannel:
             pending.attempts += 1
             pending.transmitted = True
             self.metrics.counter(self._metric("transmits")).inc()
+            if self.tracer is not None:
+                self.tracer.record(
+                    hops.CHANNEL_TRANSMIT, self.name,
+                    channel=self.name, dst=pending.dst, seq=pending.seq,
+                    attempt=pending.attempts,
+                )
             if pending.attempts > 1:
                 self.metrics.counter(self._metric("retransmits")).inc()
                 self.metrics.counter(self._metric("retransmit_bytes")).inc(
@@ -224,6 +262,12 @@ class ReliableChannel:
         ):
             del self._pending[(pending.dst, pending.seq)]
             self.metrics.counter(self._metric("gaveup")).inc()
+            if self.tracer is not None:
+                self.tracer.record(
+                    hops.CHANNEL_GIVEUP, self.name,
+                    channel=self.name, dst=pending.dst, seq=pending.seq,
+                    attempts=pending.attempts,
+                )
             if pending.on_giveup is not None:
                 pending.on_giveup()
             return
@@ -245,9 +289,13 @@ class ReliableChannel:
             if breaker is not None:
                 breaker.record_success()
             self.metrics.counter(self._metric("acked")).inc()
-            self.metrics.histogram(self._metric("delivery_time")).observe(
-                self.sim.now() - pending.started_at
-            )
+            rtt = self.sim.now() - pending.started_at
+            self.metrics.histogram(self._metric("delivery_time")).observe(rtt)
+            if self.tracer is not None:
+                self.tracer.record(
+                    hops.CHANNEL_ACKED, self.name,
+                    channel=self.name, dst=src, seq=frame.seq, rtt=rtt,
+                )
             if pending.on_delivered is not None:
                 pending.on_delivered()
             return

@@ -6,6 +6,27 @@ two runs with the same seed produce identical retry schedules.  The
 :class:`Retrier` drives an attempt function through a policy on the
 kernel; :class:`Deadline` is the time-budget half of the same story,
 usable both standalone and as a wrapper for scheduled callbacks.
+
+Usage::
+
+    policy = RetryPolicy(base_delay=0.05, max_delay=2.0, max_attempts=6)
+    delay = policy.backoff(attempt=3, rng=sim.rng)   # pure arithmetic
+
+    # or let a Retrier drive the whole schedule on the kernel:
+    Retrier(
+        sim, policy,
+        attempt_fn=lambda: net.send(src, dst, frame),  # falsy => retry
+        on_giveup=lambda: dlq.append(frame),
+    ).start()
+
+    deadline = Deadline(sim, 5.0)        # 5 virtual seconds from now
+    if deadline.expired:
+        ...  # shed the work instead of finishing it uselessly late
+
+:meth:`RetryPolicy.unbounded` is the chaos-soak flavour: the message
+must outlive the fault, so only the per-delay cap applies; see
+``docs/observability.md`` for how channel retransmits show up in trace
+reports (``channel.transmit`` with ``attempt > 1``).
 """
 
 from __future__ import annotations

@@ -41,6 +41,14 @@ class _ScheduledEvent:
     seq: int
     fn: Callable[[], None] = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
+    #: component label for the sim-time profiler (None = attribute to
+    #: the scheduling callable's module)
+    label: Optional[str] = field(default=None, compare=False)
+
+
+def _component_of(fn: Callable[[], None]) -> str:
+    """Fallback profiler attribution: the callable's defining module."""
+    return getattr(fn, "__module__", None) or "unknown"
 
 
 class EventHandle:
@@ -150,6 +158,11 @@ class Simulation:
         self._seq = 0
         self._running = False
         self._processes: list[ProcessHandle] = []
+        #: optional profiler (duck-typed: ``on_event(component, time)``,
+        #: e.g. :class:`repro.obs.profiler.SimProfiler`).  Attribution
+        #: is purely observational — attaching one never changes the
+        #: event schedule.
+        self.profiler: Optional[Any] = None
 
     # ------------------------------------------------------------------
     # scheduling primitives
@@ -158,20 +171,28 @@ class Simulation:
         """Current virtual time."""
         return self.clock.now()
 
-    def call_at(self, t: float, fn: Callable[[], None]) -> EventHandle:
-        """Schedule ``fn`` to run at absolute virtual time ``t``."""
+    def call_at(
+        self, t: float, fn: Callable[[], None], label: Optional[str] = None
+    ) -> EventHandle:
+        """Schedule ``fn`` to run at absolute virtual time ``t``.
+
+        ``label`` names the component for profiler attribution; without
+        one, the event is attributed to ``fn``'s defining module.
+        """
         if t < self.now():
             raise SimError(f"cannot schedule in the past: {t} < {self.now()}")
-        event = _ScheduledEvent(time=t, seq=self._seq, fn=fn)
+        event = _ScheduledEvent(time=t, seq=self._seq, fn=fn, label=label)
         self._seq += 1
         heapq.heappush(self._heap, event)
         return EventHandle(event)
 
-    def call_after(self, delay: float, fn: Callable[[], None]) -> EventHandle:
+    def call_after(
+        self, delay: float, fn: Callable[[], None], label: Optional[str] = None
+    ) -> EventHandle:
         """Schedule ``fn`` to run ``delay`` seconds from now."""
         if delay < 0:
             raise SimError(f"negative delay {delay!r}")
-        return self.call_at(self.now() + delay, fn)
+        return self.call_at(self.now() + delay, fn, label=label)
 
     def waiter(self) -> Waiter:
         """Create a new one-shot :class:`Waiter`."""
@@ -181,10 +202,15 @@ class Simulation:
     # processes
 
     def spawn(self, gen: Process, name: str = "proc") -> ProcessHandle:
-        """Start a generator process; it first runs at the current time."""
+        """Start a generator process; it first runs at the current time.
+
+        Process resumption events are profiler-labelled ``proc:<name>``.
+        """
         handle = ProcessHandle(gen, name)
         self._processes.append(handle)
-        self.call_after(0.0, lambda: self._step_process(handle, None))
+        self.call_after(
+            0.0, lambda: self._step_process(handle, None), label=f"proc:{name}"
+        )
         return handle
 
     def _step_process(self, handle: ProcessHandle, send_value: Any) -> None:
@@ -210,12 +236,17 @@ class Simulation:
         self._dispatch_yield(handle, yielded)
 
     def _dispatch_yield(self, handle: ProcessHandle, yielded: Any) -> None:
+        label = f"proc:{handle.name}"
         if isinstance(yielded, Timeout):
-            self.call_after(yielded.delay, lambda: self._step_process(handle, None))
+            self.call_after(
+                yielded.delay, lambda: self._step_process(handle, None), label=label
+            )
         elif isinstance(yielded, Waiter):
             yielded._add_waiter(lambda value: self._step_process(handle, value))
         elif isinstance(yielded, (int, float)):
-            self.call_after(float(yielded), lambda: self._step_process(handle, None))
+            self.call_after(
+                float(yielded), lambda: self._step_process(handle, None), label=label
+            )
         else:
             handle.done = True
             raise SimError(
@@ -248,6 +279,10 @@ class Simulation:
                     break
                 heapq.heappop(self._heap)
                 self.clock.advance_to(event.time)
+                if self.profiler is not None:
+                    self.profiler.on_event(
+                        event.label or _component_of(event.fn), event.time
+                    )
                 event.fn()
                 fired += 1
                 if fired > max_events:

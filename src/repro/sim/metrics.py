@@ -1,8 +1,12 @@
 """Metrics collection for simulated systems.
 
-Every substrate (broker, store, watch system, cache, ...) records into a
-shared :class:`MetricsRegistry` so the benchmark harness can print a
-single table per experiment.  Metric types:
+Each substrate (broker, network, watch system, cache, work pool, ...)
+owns its own :class:`MetricsRegistry`; experiments read whichever
+registries they care about (summing across them where a cost spans
+components, as E10 does for ``resilience.*``) and render the numbers
+into their result tables.  The causal-tracing layer also lands its
+per-hop latency histograms in a registry, under ``obs.hop.*`` (see
+:meth:`repro.obs.index.TraceIndex.hop_latencies`).  Metric types:
 
 - :class:`Counter` — monotonically increasing count.
 - :class:`Gauge` — last-set value.

@@ -61,10 +61,16 @@ class Network:
         sim: Simulation,
         config: NetworkConfig = NetworkConfig(),
         metrics: Optional[MetricsRegistry] = None,
+        tracer=None,
     ) -> None:
         self.sim = sim
         self.config = config
         self.metrics = metrics or MetricsRegistry()
+        #: optional :class:`repro.obs.trace.Tracer`; when set, every
+        #: dropped message records a ``net.drop`` event naming the cause
+        #: (loss / partition / down) and the frame's sequence number, so
+        #: loss provenance can name the exact hop that lost an update
+        self.tracer = tracer
         self._endpoints: Dict[str, Endpoint] = {}
         self._partitions: Set[Tuple[str, str]] = set()
 
@@ -117,9 +123,11 @@ class Network:
         self.metrics.counter("net.sent").inc()
         if self.is_partitioned(src, dst):
             self.metrics.counter("net.dropped.partition").inc()
+            self._trace_drop(src, dst, payload, "partition")
             return False
         if self.config.loss_rate > 0 and self.sim.rng.random() < self.config.loss_rate:
             self.metrics.counter("net.dropped.loss").inc()
+            self._trace_drop(src, dst, payload, "loss")
             return False
         delay = self.config.base_latency
         if self.config.jitter > 0:
@@ -131,9 +139,19 @@ class Network:
         endpoint = self._endpoints.get(dst)
         if endpoint is None or not endpoint.up:
             self.metrics.counter("net.dropped.down").inc()
+            self._trace_drop(src, dst, payload, "down")
             return
         if self.is_partitioned(src, dst):
             self.metrics.counter("net.dropped.partition").inc()
+            self._trace_drop(src, dst, payload, "partition")
             return
         self.metrics.counter("net.delivered").inc()
         endpoint.handler(src, payload)
+
+    def _trace_drop(self, src: str, dst: str, payload: Any, cause: str) -> None:
+        if self.tracer is None:
+            return
+        self.tracer.record(
+            "net.drop", "network",
+            src=src, dst=dst, seq=getattr(payload, "seq", None), cause=cause,
+        )

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
+from repro.obs.trace import hops
 from repro.pubsub.broker import Broker
 from repro.pubsub.consumer import Consumer
 from repro.pubsub.message import Message
@@ -47,6 +48,7 @@ class PubsubWorkerPool:
         create_topic: bool = True,
         task_deadline: Optional[float] = None,
         metrics: Optional[MetricsRegistry] = None,
+        tracer=None,
     ) -> None:
         if num_workers < 1:
             raise ValueError("num_workers must be >= 1")
@@ -62,6 +64,8 @@ class PubsubWorkerPool:
         #: processed uselessly late
         self.task_deadline = task_deadline
         self.metrics = metrics or broker.metrics
+        #: tasks are traced as (key=entity key, version=task_id) chains
+        self.tracer = tracer
         self.deadline_dropped = 0
         self.stats = TaskStats()
         if create_topic:
@@ -102,6 +106,11 @@ class PubsubWorkerPool:
             warm = cache.touch(task.key)
             self._completed_ids.add(task.task_id)
             self.stats.record(task, self.sim.now(), warm)
+            if self.tracer is not None:
+                self.tracer.record(
+                    hops.TASK_COMPLETE, name,
+                    key=task.key, version=task.task_id, worker=name,
+                )
             return True
 
         worker = Consumer(
@@ -121,6 +130,11 @@ class PubsubWorkerPool:
 
     def submit(self, task: Task) -> None:
         """Publish a task message."""
+        if self.tracer is not None:
+            self.tracer.record(
+                hops.TASK_ENQUEUE, "workqueue",
+                key=task.key, version=task.task_id, queue=self.topic,
+            )
         self.broker.publish(self.topic, task.key, task.payload())
 
     def add_worker(self, name: str, cache_capacity: int = 256) -> Consumer:

@@ -21,6 +21,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro._types import Key, KeyRange
 from repro.core.linked_cache import LinkedCache, LinkedCacheConfig
+from repro.obs.trace import hops
 from repro.resilience.retry import RetryPolicy
 from repro.sharding.assignment import Assignment
 from repro.sharding.autosharder import AutoSharder
@@ -126,6 +127,11 @@ class WatchWorker:
                 outcome = self._complete(row_key)
             if outcome == "done":
                 self.pool.stats.record(task, self.sim.now(), warm)
+                if self.pool.tracer is not None:
+                    self.pool.tracer.record(
+                        hops.TASK_COMPLETE, self.name,
+                        key=task.key, version=task.task_id, worker=self.name,
+                    )
 
     def _pick(self) -> Optional[Tuple[Key, Task]]:
         """Choose the next pending task in our ranges, by policy."""
@@ -199,6 +205,7 @@ class WatchWorkerPool:
         idle_poll: float = 0.02,
         complete_retry: Optional[RetryPolicy] = None,
         metrics: Optional[MetricsRegistry] = None,
+        tracer=None,
     ) -> None:
         self.sim = sim
         self.store = store
@@ -213,6 +220,8 @@ class WatchWorkerPool:
         #: is redone from scratch by whoever picks it next)
         self.complete_retry = complete_retry
         self.metrics = metrics or MetricsRegistry()
+        #: tasks are traced as (key=entity key, version=task_id) chains
+        self.tracer = tracer
         self.stats = TaskStats()
         self.conflicts = 0
         self.workers: Dict[str, WatchWorker] = {}
@@ -231,6 +240,11 @@ class WatchWorkerPool:
 
     def submit(self, task: Task) -> None:
         """Write the task row; watchers pick it up."""
+        if self.tracer is not None:
+            self.tracer.record(
+                hops.TASK_ENQUEUE, "workqueue",
+                key=task.key, version=task.task_id, row=task_row_key(task),
+            )
         self.store.put(task_row_key(task), task.payload())
 
     def crash_worker(self, name: str) -> None:

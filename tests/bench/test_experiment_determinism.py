@@ -31,6 +31,23 @@ def test_e10_replays_identically():
     )
 
 
+def test_e10_trace_jsonl_is_byte_identical():
+    # the causal trace is derived purely from sim-clock events, so the
+    # JSONL export must replay byte for byte — the property that makes
+    # exported traces diffable across runs
+    params = dict(
+        configs=("pubsub-reliable", "watch-fireforget"),
+        num_keys=25, update_rate=15.0, duration=10.0, drain=8.0, seed=31,
+    )
+    first = e10_chaos_soak.run(**params).artifacts["tracers"]
+    second = e10_chaos_soak.run(**params).artifacts["tracers"]
+    assert first.keys() == second.keys()
+    for config_name in first:
+        jsonl = first[config_name].to_jsonl()
+        assert jsonl  # traced something
+        assert jsonl == second[config_name].to_jsonl()
+
+
 def test_seed_changes_outcomes():
     base = dict(num_vms=12, num_workloads=4, duration=15.0, settle=5.0)
     a = _rows(e6b_reconcile.run(seed=1, **base))

@@ -1,0 +1,81 @@
+"""SimProfiler: passive kernel hook attributing virtual time."""
+
+from repro.obs.profiler import SimProfiler
+from repro.sim.kernel import Simulation, Timeout
+
+
+def _workload(sim):
+    sim.call_after(1.0, lambda: None, label="alpha")
+    sim.call_after(3.0, lambda: None, label="beta")
+
+    def proc():
+        yield Timeout(2.0)
+        yield Timeout(2.0)
+
+    sim.spawn(proc(), name="gamma")
+    sim.run()
+
+
+class TestAttribution:
+    def test_counts_and_time_per_component(self):
+        sim = Simulation(seed=1)
+        sim.profiler = profiler = SimProfiler()
+        _workload(sim)
+        assert profiler.event_counts["alpha"] == 1
+        assert profiler.event_counts["beta"] == 1
+        # spawn fires at t=0 plus two resumptions
+        assert profiler.event_counts["proc:gamma"] == 3
+        assert profiler.total_events == 5
+
+    def test_deltas_sum_to_elapsed_time(self):
+        sim = Simulation(seed=1)
+        sim.profiler = profiler = SimProfiler()
+        _workload(sim)
+        # inter-event deltas are charged to the later event, so the
+        # per-component sim times sum to the run's virtual duration
+        assert abs(sum(profiler.sim_time.values()) - sim.now()) < 1e-9
+        assert profiler.sim_time["alpha"] == 1.0       # 0 -> 1
+        assert profiler.sim_time["proc:gamma"] == 2.0  # 1->2 and 3->4
+        assert profiler.sim_time["beta"] == 1.0        # 2 -> 3
+
+    def test_unlabelled_events_fall_back_to_module(self):
+        sim = Simulation(seed=1)
+        sim.profiler = profiler = SimProfiler()
+        sim.call_after(1.0, lambda: None)
+        sim.run()
+        (component,) = profiler.event_counts
+        assert component == __name__
+
+    def test_profiling_is_passive(self):
+        def run(with_profiler):
+            sim = Simulation(seed=5)
+            if with_profiler:
+                sim.profiler = SimProfiler()
+            fired = []
+            for i in range(10):
+                sim.call_after(sim.rng.random(), lambda i=i: fired.append(
+                    (i, sim.now())))
+            sim.run()
+            return fired
+
+        assert run(False) == run(True)
+
+
+class TestReporting:
+    def test_top_orders_by_events_then_name(self):
+        profiler = SimProfiler()
+        profiler.on_event("b", 0.0)
+        profiler.on_event("a", 1.0)
+        profiler.on_event("b", 2.0)
+        assert [row[0] for row in profiler.top()] == ["b", "a"]
+
+    def test_snapshot_and_render(self):
+        sim = Simulation(seed=1)
+        sim.profiler = profiler = SimProfiler()
+        _workload(sim)
+        snapshot = profiler.snapshot()
+        assert set(snapshot) == {"alpha", "beta", "proc:gamma"}
+        assert snapshot["alpha"]["events"] == 1.0
+        rendered = profiler.render()
+        assert "proc:gamma" in rendered
+        assert "TOTAL" in rendered
