@@ -1,0 +1,204 @@
+#!/usr/bin/env python3
+"""Benchmark regression gate against a committed ``BENCH_*.json`` baseline.
+
+Workflow (see docs/performance.md):
+
+- ``python scripts/bench_compare.py`` runs the ``benchmarks/`` suite via
+  pytest-benchmark, then compares each tracked benchmark's median
+  against the committed baseline (``BENCH_pr3.json``) and exits
+  non-zero when any regresses by more than the threshold (default 25%).
+- ``python scripts/bench_compare.py --json out.json`` skips the run and
+  gates a pytest-benchmark JSON you already produced.
+- ``python scripts/bench_compare.py --update-baseline`` re-records the
+  baseline's "after" numbers from a fresh run, preserving the recorded
+  "before" (pre-optimization) numbers.  ``--before old.json`` seeds the
+  "before" side from a pytest-benchmark JSON taken on the pre-PR tree.
+
+The baseline file stores, per benchmark, the pre-PR and post-PR medians
+(seconds) so the speedups claimed in a perf PR stay auditable, plus the
+min/mean for context.  Only the median is gated: it is the stat least
+distorted by scheduler noise on shared CI runners.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+from typing import Dict, Optional
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_BASELINE = REPO_ROOT / "BENCH_pr3.json"
+DEFAULT_THRESHOLD = 0.25  # fail when median grows by more than this
+
+
+def run_benchmarks(output_json: Path) -> None:
+    """Run the benchmarks/ suite, writing pytest-benchmark JSON."""
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = f"{src}:{existing}" if existing else src
+    cmd = [
+        sys.executable,
+        "-m",
+        "pytest",
+        "benchmarks/",
+        "-q",
+        f"--benchmark-json={output_json}",
+    ]
+    print(f"$ {' '.join(cmd)}", flush=True)
+    result = subprocess.run(cmd, cwd=REPO_ROOT, env=env)
+    if result.returncode != 0:
+        sys.exit(f"benchmark run failed (exit {result.returncode})")
+
+
+def load_stats(bench_json: Path) -> Dict[str, Dict[str, float]]:
+    """name -> {median, min, mean} (seconds) from pytest-benchmark JSON."""
+    data = json.loads(bench_json.read_text())
+    stats: Dict[str, Dict[str, float]] = {}
+    for bench in data.get("benchmarks", []):
+        s = bench["stats"]
+        stats[bench["name"]] = {
+            "median": s["median"],
+            "min": s["min"],
+            "mean": s["mean"],
+        }
+    return stats
+
+
+def compare(
+    baseline: dict, current: Dict[str, Dict[str, float]], threshold: float
+) -> int:
+    """Print a comparison table; return the number of regressions."""
+    regressions = 0
+    tracked = baseline.get("benchmarks", {})
+    width = max((len(name) for name in tracked), default=20)
+    print(f"{'benchmark':<{width}}  {'baseline':>10}  {'current':>10}  {'ratio':>7}")
+    for name, entry in sorted(tracked.items()):
+        after = entry.get("after")
+        if after is None:
+            continue
+        base_median = after["median"]
+        cur = current.get(name)
+        if cur is None:
+            print(f"{name:<{width}}  {base_median:>10.4f}  {'MISSING':>10}")
+            regressions += 1
+            continue
+        ratio = cur["median"] / base_median if base_median else float("inf")
+        flag = ""
+        if ratio > 1.0 + threshold:
+            flag = f"  REGRESSION (> {threshold:.0%})"
+            regressions += 1
+        print(
+            f"{name:<{width}}  {base_median:>10.4f}  {cur['median']:>10.4f}"
+            f"  {ratio:>6.2f}x{flag}"
+        )
+    untracked = sorted(set(current) - set(tracked))
+    for name in untracked:
+        print(f"{name:<{width}}  {'(untracked)':>10}  {current[name]['median']:>10.4f}")
+    return regressions
+
+
+def update_baseline(
+    baseline_path: Path,
+    current: Dict[str, Dict[str, float]],
+    before: Optional[Dict[str, Dict[str, float]]],
+    threshold: float,
+) -> None:
+    """Write fresh "after" numbers, preserving recorded "before" sides."""
+    if baseline_path.exists():
+        baseline = json.loads(baseline_path.read_text())
+    else:
+        baseline = {
+            "comment": (
+                "Benchmark baseline for the PR-3 hot-path overhaul. Medians in "
+                "seconds; 'before' is the pre-PR tree, 'after' the committed one. "
+                "scripts/bench_compare.py gates future runs against 'after'."
+            ),
+            "unit": "seconds",
+            "threshold": threshold,
+            "benchmarks": {},
+        }
+    benchmarks = baseline.setdefault("benchmarks", {})
+    for name, stats in sorted(current.items()):
+        entry = benchmarks.setdefault(name, {"before": None, "after": None})
+        if before is not None and name in before:
+            entry["before"] = before[name]
+        entry["after"] = stats
+        if entry.get("before"):
+            entry["speedup_median"] = round(
+                entry["before"]["median"] / stats["median"], 2
+            )
+    baseline_path.write_text(json.dumps(baseline, indent=2) + "\n")
+    print(f"wrote {baseline_path}")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=DEFAULT_BASELINE,
+        help="committed baseline file (default: BENCH_pr3.json)",
+    )
+    parser.add_argument(
+        "--json",
+        type=Path,
+        default=None,
+        help="gate an existing pytest-benchmark JSON instead of running",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="record the current run as the new 'after' baseline",
+    )
+    parser.add_argument(
+        "--before",
+        type=Path,
+        default=None,
+        help="pytest-benchmark JSON from the pre-PR tree (seeds 'before')",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=None,
+        help="allowed median growth before failing (default: baseline's, else 0.25)",
+    )
+    args = parser.parse_args()
+
+    if args.json is not None:
+        current = load_stats(args.json)
+    else:
+        with tempfile.NamedTemporaryFile(suffix=".json", delete=False) as tmp:
+            out = Path(tmp.name)
+        try:
+            run_benchmarks(out)
+            current = load_stats(out)
+        finally:
+            out.unlink(missing_ok=True)
+
+    before = load_stats(args.before) if args.before else None
+
+    if args.update_baseline:
+        threshold = args.threshold if args.threshold is not None else DEFAULT_THRESHOLD
+        update_baseline(args.baseline, current, before, threshold)
+        return
+
+    if not args.baseline.exists():
+        sys.exit(f"no baseline at {args.baseline}; run with --update-baseline first")
+    baseline = json.loads(args.baseline.read_text())
+    threshold = args.threshold
+    if threshold is None:
+        threshold = baseline.get("threshold", DEFAULT_THRESHOLD)
+    regressions = compare(baseline, current, threshold)
+    if regressions:
+        sys.exit(f"{regressions} benchmark(s) regressed beyond {threshold:.0%}")
+    print("no benchmark regressions")
+
+
+if __name__ == "__main__":
+    main()

@@ -74,7 +74,12 @@ class WatchCallback(abc.ABC):
 
 
 class FnWatchCallback(WatchCallback):
-    """Adapter building a callback from plain functions (tests, examples)."""
+    """Adapter building a callback from plain functions (tests, examples).
+
+    The supplied functions are exposed directly as instance attributes
+    (shadowing the class methods), so delivery hot loops invoke them
+    without a wrapper frame per event.
+    """
 
     def __init__(
         self,
@@ -82,18 +87,45 @@ class FnWatchCallback(WatchCallback):
         on_progress: Optional[Callable[[ProgressEvent], None]] = None,
         on_resync: Optional[Callable[[], None]] = None,
     ) -> None:
-        self._on_event = on_event or (lambda event: None)
-        self._on_progress = on_progress or (lambda event: None)
-        self._on_resync = on_resync or (lambda: None)
+        self.on_event = on_event or (lambda event: None)
+        self.on_progress = on_progress or (lambda event: None)
+        self.on_resync = on_resync or (lambda: None)
 
-    def on_event(self, event: ChangeEvent) -> None:
-        self._on_event(event)
+    # the legacy ``_on_event``-style attributes stay assignable (some
+    # experiments swap handlers in before watching); they alias the
+    # public attributes so both views agree
+    @property
+    def _on_event(self) -> Callable[[ChangeEvent], None]:
+        return self.on_event
 
-    def on_progress(self, event: ProgressEvent) -> None:
-        self._on_progress(event)
+    @_on_event.setter
+    def _on_event(self, fn: Callable[[ChangeEvent], None]) -> None:
+        self.on_event = fn
 
-    def on_resync(self) -> None:
-        self._on_resync()
+    @property
+    def _on_progress(self) -> Callable[[ProgressEvent], None]:
+        return self.on_progress
+
+    @_on_progress.setter
+    def _on_progress(self, fn: Callable[[ProgressEvent], None]) -> None:
+        self.on_progress = fn
+
+    @property
+    def _on_resync(self) -> Callable[[], None]:
+        return self.on_resync
+
+    @_on_resync.setter
+    def _on_resync(self, fn: Callable[[], None]) -> None:
+        self.on_resync = fn
+
+    def on_event(self, event: ChangeEvent) -> None:  # pragma: no cover
+        raise NotImplementedError  # shadowed by the instance attribute
+
+    def on_progress(self, event: ProgressEvent) -> None:  # pragma: no cover
+        raise NotImplementedError  # shadowed by the instance attribute
+
+    def on_resync(self) -> None:  # pragma: no cover
+        raise NotImplementedError  # shadowed by the instance attribute
 
 
 class Watchable(abc.ABC):

@@ -60,10 +60,16 @@ class StoreWatch(Watchable):
     # store side
 
     def _on_commit(self, commit: CommittedTransaction) -> None:
-        for session in list(self._sessions):
-            for key, mutation in commit.writes:
-                session.offer_event(ChangeEvent(key, mutation, commit.version))
-            session.offer_progress(ProgressEvent(KEY_MIN, KEY_MAX, commit.version))
+        # offers never synchronously close sessions (closures run at
+        # delivery time via scheduled events), so no defensive copy;
+        # events are built once per commit and shared across sessions
+        version = commit.version
+        events = [ChangeEvent(key, mutation, version) for key, mutation in commit.writes]
+        progress = ProgressEvent(KEY_MIN, KEY_MAX, version)
+        for session in self._sessions:
+            for event in events:
+                session.offer_event(event)
+            session.offer_progress(progress)
 
     # ------------------------------------------------------------------
     # Watchable

@@ -87,6 +87,16 @@ class WatcherSession(Cancellable):
         self.progress_delivered = 0
         self.resyncs_signalled = 0
         self.overflow_drops = 0
+        # hot-path prebinds: the fan-out loops run these per event, so
+        # the config/range/callback indirections are resolved once here
+        self._low = key_range.low
+        self._high = key_range.high
+        self._cb_event = callback.on_event
+        self._cb_progress = callback.on_progress
+        self._max_backlog = config.max_backlog
+        self._delivery_latency = config.delivery_latency
+        self._service_time = config.service_time
+        self._pending: Optional[_Item] = None
 
     # ------------------------------------------------------------------
     # Cancellable
@@ -108,24 +118,55 @@ class WatcherSession(Cancellable):
 
     def offer_event(self, event: ChangeEvent) -> None:
         """Enqueue a change event if it matches this watch."""
+        # body mirrors offer_matched with the range check added; both
+        # inline _enqueue — this pair is the fan-out inner loop
         if not self._active:
             return
-        if not self.key_range.contains(event.key):
+        if not self._low <= event.key < self._high:
             return
         if event.version <= self.from_version:
             return
         if self.predicate is not None and not self.predicate(event):
             return
-        self._enqueue(event)
+        queue = self._queue
+        if len(queue) >= self._max_backlog:
+            self.signal_resync()
+            return
+        queue.append(event)
+        if not self._draining:
+            self._draining = True
+            self.sim.post(self._delivery_latency, self._drain_next)
+
+    def offer_matched(self, event: ChangeEvent) -> None:
+        """:meth:`offer_event` minus the range check, for producers that
+        already know ``event.key`` is inside this session's range (the
+        watch system's range-group fan-out)."""
+        if not self._active:
+            return
+        if event.version <= self.from_version:
+            return
+        if self.predicate is not None and not self.predicate(event):
+            return
+        queue = self._queue
+        if len(queue) >= self._max_backlog:
+            self.signal_resync()
+            return
+        queue.append(event)
+        if not self._draining:
+            self._draining = True
+            self.sim.post(self._delivery_latency, self._drain_next)
 
     def offer_progress(self, progress: ProgressEvent) -> None:
         """Enqueue the intersection of a progress event with our range."""
         if not self._active:
             return
-        overlap = self.key_range.intersect(progress.key_range)
-        if overlap is None:
+        # inlined KeyRange.intersect — this runs once per (progress
+        # event, session) pair and the KeyRange round-trip dominates
+        low = self._low if self._low >= progress.low else progress.low
+        high = self._high if self._high <= progress.high else progress.high
+        if low >= high:
             return
-        self._enqueue(ProgressEvent(overlap.low, overlap.high, progress.version))
+        self._enqueue(ProgressEvent(low, high, progress.version))
 
     def signal_resync(self) -> None:
         """Drop everything queued and deliver a resync.
@@ -141,13 +182,13 @@ class WatcherSession(Cancellable):
         self._enqueue(_RESYNC)
 
     def _enqueue(self, item: _Item) -> None:
-        if item is not _RESYNC and len(self._queue) >= self.config.max_backlog:
+        if item is not _RESYNC and len(self._queue) >= self._max_backlog:
             self.signal_resync()
             return
         self._queue.append(item)
         if not self._draining:
             self._draining = True
-            self.sim.call_after(self.config.delivery_latency, self._drain_next)
+            self.sim.post(self._delivery_latency, self._drain_next)
 
     # ------------------------------------------------------------------
     # consumer side
@@ -156,24 +197,60 @@ class WatcherSession(Cancellable):
         # Iterative drain: with zero service time the whole queue is
         # delivered in a loop (no recursion — queues can be large);
         # with nonzero service time one item is delivered per step.
-        while True:
-            if not self._active or not self._queue:
+        # Items enqueued by a callback mid-drain are picked up by the
+        # same loop at the same virtual time.
+        queue = self._queue
+        if self._service_time > 0:
+            if not self._active or not queue:
                 self._draining = False
                 return
-            if self.config.service_time > 0:
-                item = self._queue.popleft()
-                self.sim.call_after(
-                    self.config.service_time, lambda item=item: self._deliver_then_continue(item)
-                )
-                return
-            self._deliver(self._queue.popleft())
+            self._pending = queue.popleft()
+            self.sim.post(self._service_time, self._service_step)
+            return
+        # change events with no tracer attached — the overwhelmingly
+        # common item — are delivered inline; everything else (resync,
+        # progress, traced deliveries) goes through _deliver
+        deliver = self._deliver
+        popleft = queue.popleft
+        cb_event = self._cb_event
+        change_event = ChangeEvent
+        untraced = self.tracer is None
+        delivered = 0  # batched into events_delivered at burst end
+        while self._active and queue:
+            item = popleft()
+            if untraced and item.__class__ is change_event:
+                delivered += 1
+                if item.version > self.delivered_version:
+                    self.delivered_version = item.version
+                cb_event(item)
+            else:
+                # keep the counter coherent before _deliver's own
+                # accounting (resync tracing reads overflow state)
+                self.events_delivered += delivered
+                delivered = 0
+                deliver(item)
+        self.events_delivered += delivered
+        self._draining = False
 
-    def _deliver_then_continue(self, item: _Item) -> None:
+    def _service_step(self) -> None:
+        item = self._pending
+        self._pending = None
         self._deliver(item)
         self._drain_next()
 
     def _deliver(self, item: _Item) -> None:
         if not self._active:
+            return
+        if item.__class__ is ChangeEvent:
+            self.events_delivered += 1
+            if item.version > self.delivered_version:
+                self.delivered_version = item.version
+            if self.tracer is not None:
+                self.tracer.record(
+                    hops.WATCH_DELIVER, self.label,
+                    key=item.key, version=item.version, watcher=self.label,
+                )
+            self._cb_event(item)
             return
         if item is _RESYNC:
             self.resyncs_signalled += 1
@@ -188,19 +265,8 @@ class WatcherSession(Cancellable):
                 self._on_closed(self)
             self.callback.on_resync()
             return
-        if isinstance(item, ChangeEvent):
-            self.events_delivered += 1
-            if item.version > self.delivered_version:
-                self.delivered_version = item.version
-            if self.tracer is not None:
-                self.tracer.record(
-                    hops.WATCH_DELIVER, self.label,
-                    key=item.key, version=item.version, watcher=self.label,
-                )
-            self.callback.on_event(item)
-        else:
-            self.progress_delivered += 1
-            self.callback.on_progress(item)
+        self.progress_delivered += 1
+        self._cb_progress(item)
 
     @property
     def backlog(self) -> int:

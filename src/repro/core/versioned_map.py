@@ -18,6 +18,7 @@ import bisect
 from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from repro._types import Key, KeyRange, Mutation, Version
+from repro.storage.keyindex import SortedKeyIndex
 
 
 class VersionedMap:
@@ -26,12 +27,12 @@ class VersionedMap:
     def __init__(self) -> None:
         self._versions: Dict[Key, List[Version]] = {}
         self._mutations: Dict[Key, List[Mutation]] = {}
-        self._sorted_keys: List[Key] = []
+        self._key_index = SortedKeyIndex()
 
     def clear(self) -> None:
         self._versions.clear()
         self._mutations.clear()
-        self._sorted_keys.clear()
+        self._key_index.clear()
 
     # ------------------------------------------------------------------
     # writes
@@ -47,7 +48,7 @@ class VersionedMap:
         if versions is None:
             self._versions[key] = [version]
             self._mutations[key] = [mutation]
-            bisect.insort(self._sorted_keys, key)
+            self._key_index.add(key)  # amortized O(1), merged on read
             return
         idx = bisect.bisect_left(versions, version)
         if idx < len(versions) and versions[idx] == version:
@@ -121,19 +122,17 @@ class VersionedMap:
         return out
 
     def _keys_in(self, key_range: KeyRange) -> Iterator[Key]:
-        lo = bisect.bisect_left(self._sorted_keys, key_range.low)
-        hi = bisect.bisect_left(self._sorted_keys, key_range.high)
-        return iter(self._sorted_keys[lo:hi])
+        return self._key_index.irange(key_range.low, key_range.high)
 
     def keys(self) -> Tuple[Key, ...]:
-        return tuple(self._sorted_keys)
+        return self._key_index.as_tuple()
 
     def version_count(self) -> int:
         """Total retained versions across keys (memory accounting)."""
         return sum(len(v) for v in self._versions.values())
 
     def __len__(self) -> int:
-        return len(self._sorted_keys)
+        return len(self._key_index)
 
     def __contains__(self, key: Key) -> bool:
         return key in self._versions

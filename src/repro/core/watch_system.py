@@ -24,9 +24,10 @@ both central to the paper's argument:
 
 from __future__ import annotations
 
-from collections import deque
+from bisect import bisect_right
 from dataclasses import dataclass
-from typing import Deque, Dict, List, Optional
+from operator import attrgetter
+from typing import Dict, List, Optional
 
 from repro._types import Key, KeyRange, Version, VERSION_ZERO
 from repro.core.api import Cancellable, Ingester, Watchable, WatchCallback
@@ -34,7 +35,14 @@ from repro.core.events import ChangeEvent, ProgressEvent
 from repro.core.stream import WatcherConfig, WatcherSession
 from repro.obs.trace import hops
 from repro.sim.kernel import Simulation
-from repro.sim.metrics import MetricsRegistry
+from repro.sim.metrics import Counter, MetricsRegistry
+
+_event_version = attrgetter("version")
+
+#: Buffer-eviction bookkeeping uses a head offset instead of pops; the
+#: dead prefix is compacted away once it crosses this length *and*
+#: outgrows the live tail, keeping eviction amortized O(1).
+_BUFFER_COMPACT_MIN = 8192
 
 
 @dataclass
@@ -71,14 +79,34 @@ class WatchSystem(Watchable, Ingester):
         self.tracer = tracer
         self._session_seq = 0  # deterministic per-session trace labels
         #: buffered events in ingest order (version order within any
-        #: one ingest range, by the Ingester contract)
-        self._buffer: Deque[ChangeEvent] = deque()
+        #: one ingest range, by the Ingester contract); ``_buf_head``
+        #: marks the retained start — eviction advances it instead of
+        #: popping, and the dead prefix is compacted periodically
+        self._buffer: List[ChangeEvent] = []
+        self._buf_head = 0
+        #: True while the buffer is globally nondecreasing in version —
+        #: the single-ingest-range common case — enabling the bisect
+        #: catch-up in :meth:`watch`
+        self._buf_sorted = True
         #: versions <= this may have been evicted from the buffer (or
         #: never ingested, for the pre-start window)
         self._floor: Version = VERSION_ZERO
         #: latest progress mark per exact ingested range
         self._progress_marks: Dict[KeyRange, Version] = {}
         self._sessions: List[WatcherSession] = []
+        #: sessions grouped by their exact key range, so an ingest only
+        #: touches sessions whose range can match (registration order is
+        #: preserved within a group; when several groups match one key
+        #: the global session list is used so cross-group delivery order
+        #: stays identical to the unindexed implementation)
+        self._range_groups: Dict[KeyRange, List[WatcherSession]] = {}
+        #: (range, group) when exactly one group exists — the common
+        #: sharded topology — letting ingest skip the group scan
+        self._sole_group = None
+        # counters created on first use so the registry's contents stay
+        # identical to the f-string-per-call implementation
+        self._watches_counter: Optional[Counter] = None
+        self._resyncs_counter: Optional[Counter] = None
         self.soft_state_peak_events = 0
         self.events_ingested = 0
         self.events_evicted = 0
@@ -94,16 +122,70 @@ class WatchSystem(Watchable, Ingester):
                 hops.WATCH_INGEST, self.name,
                 key=event.key, version=event.version, system=self.name,
             )
-        self._buffer.append(event)
-        if len(self._buffer) > self.soft_state_peak_events:
-            self.soft_state_peak_events = len(self._buffer)
-        for session in list(self._sessions):
-            session.offer_event(event)
-        while len(self._buffer) > self.config.max_buffered_events:
-            evicted = self._buffer.popleft()
+        buf = self._buffer
+        if self._buf_sorted and buf and event.version < buf[-1].version:
+            self._buf_sorted = False
+        buf.append(event)
+        retained = len(buf) - self._buf_head
+        if retained > self.soft_state_peak_events:
+            self.soft_state_peak_events = retained
+        # fan out through the range index: when exactly one range group
+        # matches the key, only its sessions are touched (they skip the
+        # redundant range check); overlapping groups fall back to the
+        # global list so cross-group delivery order is unchanged
+        key = event.key
+        target: Optional[List[WatcherSession]] = None
+        multi = False
+        sole = self._sole_group
+        if sole is not None:
+            rng, group = sole
+            if rng.low <= key < rng.high:
+                target = group
+        else:
+            for rng, group in self._range_groups.items():
+                if rng.low <= key < rng.high:
+                    if target is None:
+                        target = group
+                    else:
+                        multi = True
+                        break
+        if multi:
+            for session in self._sessions:
+                session.offer_event(event)
+        elif target is not None:
+            sim_post = self.sim.post
+            version = event.version
+            for session in target:
+                # inlined WatcherSession.offer_matched common case
+                # (active, unfiltered, not backlogged); anything else
+                # takes the full method
+                if (
+                    session._active
+                    and session.predicate is None
+                    and version > session.from_version
+                ):
+                    queue = session._queue
+                    if len(queue) < session._max_backlog:
+                        queue.append(event)
+                        if not session._draining:
+                            session._draining = True
+                            sim_post(session._delivery_latency, session._drain_next)
+                        continue
+                session.offer_matched(event)
+        while retained > self.config.max_buffered_events:
+            evicted = buf[self._buf_head]
+            self._buf_head += 1
+            retained -= 1
             self.events_evicted += 1
             if evicted.version > self._floor:
                 self._floor = evicted.version
+        self._maybe_compact_buffer()
+
+    def _maybe_compact_buffer(self) -> None:
+        head = self._buf_head
+        if head >= _BUFFER_COMPACT_MIN and head * 2 >= len(self._buffer):
+            del self._buffer[:head]
+            self._buf_head = 0
 
     def progress(self, event: ProgressEvent) -> None:
         key_range = event.key_range
@@ -111,7 +193,9 @@ class WatchSystem(Watchable, Ingester):
         if event.version < previous:
             return  # stale duplicate from the store side
         self._progress_marks[key_range] = event.version
-        for session in list(self._sessions):
+        # offers never synchronously mutate the session list (closures
+        # happen at delivery time, via scheduled events), so no copy
+        for session in self._sessions:
             session.offer_progress(event)
 
     # ------------------------------------------------------------------
@@ -127,31 +211,7 @@ class WatchSystem(Watchable, Ingester):
         (it should snapshot the store and re-watch — see
         :class:`~repro.core.linked_cache.LinkedCache`).
         """
-        key_range = KeyRange(low, high)
-        session = WatcherSession(
-            sim=self.sim,
-            key_range=key_range,
-            from_version=version,
-            callback=callback,
-            config=self.config.watcher_defaults,
-            on_closed=self._session_closed,
-            tracer=self.tracer,
-            label=self._next_label(),
-        )
-        self._sessions.append(session)
-        self.metrics.counter(f"watch.{self.name}.watches").inc()
-        if version < self._floor:
-            self.metrics.counter(f"watch.{self.name}.resyncs").inc()
-            session.signal_resync()
-            return session
-        # catch up from the retained buffer, then replay current
-        # progress marks so knowledge windows open without waiting for
-        # the next store-side progress tick
-        for event in self._buffer:
-            session.offer_event(event)
-        for mark_range, mark_version in self._progress_marks.items():
-            session.offer_progress(ProgressEvent(mark_range.low, mark_range.high, mark_version))
-        return session
+        return self.watch_range(KeyRange(low, high), version, callback)
 
     def watch_range(
         self, key_range: KeyRange, version: Version, callback: WatchCallback,
@@ -173,13 +233,41 @@ class WatchSystem(Watchable, Ingester):
             label=self._next_label(),
         )
         self._sessions.append(session)
-        self.metrics.counter(f"watch.{self.name}.watches").inc()
+        group = self._range_groups.get(key_range)
+        if group is None:
+            self._range_groups[key_range] = group = [session]
+            self._sole_group = (
+                (key_range, group) if len(self._range_groups) == 1 else None
+            )
+        else:
+            group.append(session)
+        counter = self._watches_counter
+        if counter is None:
+            counter = self._watches_counter = self.metrics.counter(
+                f"watch.{self.name}.watches"
+            )
+        counter.inc()
         if version < self._floor:
-            self.metrics.counter(f"watch.{self.name}.resyncs").inc()
+            counter = self._resyncs_counter
+            if counter is None:
+                counter = self._resyncs_counter = self.metrics.counter(
+                    f"watch.{self.name}.resyncs"
+                )
+            counter.inc()
             session.signal_resync()
             return session
-        for event in self._buffer:
-            session.offer_event(event)
+        # catch up from the retained buffer, then replay current
+        # progress marks so knowledge windows open without waiting for
+        # the next store-side progress tick.  While the buffer is
+        # version-sorted (the single-ingest-range common case) the
+        # events at or below the start version — which the session
+        # would drop anyway — are skipped by bisection.
+        buf = self._buffer
+        start = self._buf_head
+        if self._buf_sorted:
+            start = bisect_right(buf, version, start, len(buf), key=_event_version)
+        for i in range(start, len(buf)):
+            session.offer_event(buf[i])
         for mark_range, mark_version in self._progress_marks.items():
             session.offer_progress(ProgressEvent(mark_range.low, mark_range.high, mark_version))
         return session
@@ -191,6 +279,16 @@ class WatchSystem(Watchable, Ingester):
     def _session_closed(self, session: WatcherSession) -> None:
         if session in self._sessions:
             self._sessions.remove(session)
+            group = self._range_groups.get(session.key_range)
+            if group is not None:
+                group.remove(session)
+                if not group:
+                    del self._range_groups[session.key_range]
+                    groups = self._range_groups
+                    if len(groups) == 1:
+                        self._sole_group = next(iter(groups.items()))
+                    else:
+                        self._sole_group = None
 
     # ------------------------------------------------------------------
     # soft-state management
@@ -203,15 +301,24 @@ class WatchSystem(Watchable, Ingester):
         is stale; every active watcher is resynced.
         """
         self.wipes += 1
-        highest = max((e.version for e in self._buffer), default=self._floor)
+        highest = max(
+            (e.version for e in self._iter_buffer()), default=self._floor
+        )
         for mark_version in self._progress_marks.values():
             if mark_version > highest:
                 highest = mark_version
         self._buffer.clear()
+        self._buf_head = 0
+        self._buf_sorted = True
         self._progress_marks.clear()
         self._floor = highest
         for session in list(self._sessions):
             session.signal_resync()
+
+    def _iter_buffer(self):
+        buf = self._buffer
+        for i in range(self._buf_head, len(buf)):
+            yield buf[i]
 
     def raise_floor(self, version: Version) -> None:
         """Declare history at or below ``version`` unservable.
@@ -224,9 +331,17 @@ class WatchSystem(Watchable, Ingester):
         if version <= self._floor:
             return
         self._floor = version
-        while self._buffer and self._buffer[0].version <= version:
-            self._buffer.popleft()
+        buf = self._buffer
+        head = self._buf_head
+        while head < len(buf) and buf[head].version <= version:
+            head += 1
             self.events_evicted += 1
+        if head >= len(buf):
+            buf.clear()
+            head = 0
+            self._buf_sorted = True
+        self._buf_head = head
+        self._maybe_compact_buffer()
         for session in list(self._sessions):
             if session.delivered_version < version:
                 session.signal_resync()
@@ -238,7 +353,7 @@ class WatchSystem(Watchable, Ingester):
 
     @property
     def buffered_events(self) -> int:
-        return len(self._buffer)
+        return len(self._buffer) - self._buf_head
 
     @property
     def active_watchers(self) -> int:
@@ -246,4 +361,4 @@ class WatchSystem(Watchable, Ingester):
 
     def soft_state_bytes(self) -> int:
         """Current soft-state footprint (E8: this is *not* hard state)."""
-        return sum(event.size() for event in self._buffer)
+        return sum(event.size() for event in self._iter_buffer())

@@ -15,16 +15,41 @@ are supported and freely mixed:
 The kernel is single-threaded and deterministic: events at equal times
 fire in scheduling order, and all randomness must come from
 :attr:`Simulation.rng`, which is seeded at construction.
+
+Hot-path design (see ``docs/performance.md``):
+
+- Scheduled events are plain lists ``[time, seq, fn, label, cancelled]``
+  ordered by ``(time, seq)``; ``seq`` is unique, so heap comparisons
+  never reach the non-comparable payload fields.
+- ``call_after(0.0, ...)`` — the dominant pattern (Waiter resumption,
+  ``spawn``, subscription pumps, zero-latency watch drains) — bypasses
+  the heap entirely through a FIFO *fast lane*.  Fast-lane entries carry
+  the same ``(time, seq)`` stamps, and the run loop always fires the
+  globally smallest ``(time, seq)`` across both queues, so the observable
+  order is identical to a single heap.
+- Cancelled events stay queued as tombstones and are skipped on pop; a
+  live-event counter keeps :attr:`Simulation.pending_events` O(1), and
+  the heap is compacted when tombstones dominate it (resilience timers
+  cancel constantly and would otherwise accumulate until drained).
 """
 
 from __future__ import annotations
 
 import heapq
+from collections import deque
 import random
-from dataclasses import dataclass, field
-from typing import Any, Callable, Generator, Iterable, Optional
+from typing import Any, Callable, Deque, Generator, Iterable, List, Optional
 
 from repro.sim.clock import VirtualClock
+
+#: indices into an event entry [time, seq, fn, label, cancelled]
+_TIME, _SEQ, _FN, _LABEL, _CANCELLED = range(5)
+
+#: compact the heap when at least this many tombstones are queued *and*
+#: they outnumber live heap entries (amortizes the rebuild)
+_COMPACT_MIN_TOMBSTONES = 512
+
+_INF = float("inf")
 
 
 class SimError(RuntimeError):
@@ -35,17 +60,6 @@ class ProcessExit(Exception):
     """Yielded/raised to terminate a process early from within."""
 
 
-@dataclass(order=True)
-class _ScheduledEvent:
-    time: float
-    seq: int
-    fn: Callable[[], None] = field(compare=False)
-    cancelled: bool = field(default=False, compare=False)
-    #: component label for the sim-time profiler (None = attribute to
-    #: the scheduling callable's module)
-    label: Optional[str] = field(default=None, compare=False)
-
-
 def _component_of(fn: Callable[[], None]) -> str:
     """Fallback profiler attribution: the callable's defining module."""
     return getattr(fn, "__module__", None) or "unknown"
@@ -54,22 +68,30 @@ def _component_of(fn: Callable[[], None]) -> str:
 class EventHandle:
     """Handle returned by scheduling calls; supports cancellation."""
 
-    __slots__ = ("_event",)
+    __slots__ = ("_entry", "_sim")
 
-    def __init__(self, event: _ScheduledEvent) -> None:
-        self._event = event
+    def __init__(self, entry: List[Any], sim: "Simulation") -> None:
+        self._entry = entry
+        self._sim = sim
 
     def cancel(self) -> None:
         """Prevent the event from firing (idempotent)."""
-        self._event.cancelled = True
+        entry = self._entry
+        if entry[_CANCELLED]:
+            return
+        entry[_CANCELLED] = True
+        if entry[_FN] is None:
+            return  # already fired; nothing queued to account for
+        entry[_FN] = None
+        self._sim._on_cancel()
 
     @property
     def cancelled(self) -> bool:
-        return self._event.cancelled
+        return self._entry[_CANCELLED]
 
     @property
     def time(self) -> float:
-        return self._event.time
+        return self._entry[_TIME]
 
 
 class Timeout:
@@ -117,13 +139,26 @@ class Waiter:
         self._value = value
         waiting, self._waiting = self._waiting, []
         for resume in waiting:
-            self._sim.call_after(0.0, lambda resume=resume: resume(value))
+            self._sim._call_soon_1(resume, value)
 
     def _add_waiter(self, resume: Callable[[Any], None]) -> None:
         if self._fired:
-            self._sim.call_after(0.0, lambda: resume(self._value))
+            self._sim._call_soon_1(resume, self._value)
         else:
             self._waiting.append(resume)
+
+
+class _Resume1:
+    """Pre-bound one-argument trampoline (cheaper than a per-call lambda)."""
+
+    __slots__ = ("fn", "arg")
+
+    def __init__(self, fn: Callable[[Any], None], arg: Any) -> None:
+        self.fn = fn
+        self.arg = arg
+
+    def __call__(self) -> None:
+        self.fn(self.arg)
 
 
 Process = Generator[Any, Any, Any]
@@ -132,7 +167,10 @@ Process = Generator[Any, Any, Any]
 class ProcessHandle:
     """Handle to a spawned process."""
 
-    __slots__ = ("name", "done", "result", "error", "_gen", "_killed")
+    __slots__ = (
+        "name", "done", "result", "error", "_gen", "_killed",
+        "_resume_none", "_resume_value", "_label",
+    )
 
     def __init__(self, gen: Process, name: str) -> None:
         self.name = name
@@ -141,6 +179,11 @@ class ProcessHandle:
         self.error: Optional[BaseException] = None
         self._gen = gen
         self._killed = False
+        # trampolines bound once by spawn(); reused for every yield so
+        # process switching allocates no per-yield closures
+        self._resume_none: Callable[[], None] = None  # type: ignore[assignment]
+        self._resume_value: Callable[[Any], None] = None  # type: ignore[assignment]
+        self._label = f"proc:{name}"
 
     def kill(self) -> None:
         """Stop the process at its next resumption point."""
@@ -148,14 +191,19 @@ class ProcessHandle:
 
 
 class Simulation:
-    """The simulation: virtual clock + event heap + seeded RNG."""
+    """The simulation: virtual clock + event queues + seeded RNG."""
 
     def __init__(self, seed: int = 0, start: float = 0.0) -> None:
         self.clock = VirtualClock(start)
         self.rng = random.Random(seed)
         self.seed = seed
-        self._heap: list[_ScheduledEvent] = []
+        self._heap: List[List[Any]] = []
+        #: FIFO fast lane for zero-delay events; entries are in
+        #: nondecreasing (time, seq) order by construction
+        self._fast: Deque[List[Any]] = deque()
         self._seq = 0
+        self._live = 0  # queued non-cancelled events across both lanes
+        self._tombstones = 0  # cancelled events still queued
         self._running = False
         self._processes: list[ProcessHandle] = []
         #: optional profiler (duck-typed: ``on_event(component, time)``,
@@ -179,24 +227,100 @@ class Simulation:
         ``label`` names the component for profiler attribution; without
         one, the event is attributed to ``fn``'s defining module.
         """
-        if t < self.now():
+        t = float(t)  # the clock must stay float-pure (trace JSON bytes)
+        if t < self.clock._now:
             raise SimError(f"cannot schedule in the past: {t} < {self.now()}")
-        event = _ScheduledEvent(time=t, seq=self._seq, fn=fn, label=label)
-        self._seq += 1
-        heapq.heappush(self._heap, event)
-        return EventHandle(event)
+        seq = self._seq
+        self._seq = seq + 1
+        entry = [t, seq, fn, label, False]
+        heapq.heappush(self._heap, entry)
+        self._live += 1
+        return EventHandle(entry, self)
 
     def call_after(
         self, delay: float, fn: Callable[[], None], label: Optional[str] = None
     ) -> EventHandle:
-        """Schedule ``fn`` to run ``delay`` seconds from now."""
+        """Schedule ``fn`` to run ``delay`` seconds from now.
+
+        Zero-delay calls take the FIFO fast lane (no heap traffic) while
+        firing in exactly the same global ``(time, seq)`` order.
+        """
+        if delay == 0.0:
+            entry = [self.clock._now, self._seq, fn, label, False]
+            self._seq += 1
+            self._fast.append(entry)
+            self._live += 1
+            return EventHandle(entry, self)
         if delay < 0:
             raise SimError(f"negative delay {delay!r}")
-        return self.call_at(self.now() + delay, fn, label=label)
+        return self.call_at(self.clock._now + delay, fn, label=label)
+
+    def post(
+        self, delay: float, fn: Callable[[], None], label: Optional[str] = None
+    ) -> None:
+        """Schedule ``fn`` like :meth:`call_after` but without creating
+        an :class:`EventHandle`.
+
+        The fire-and-forget flavor for hot paths that never cancel
+        (process resumption, subscription pumps, watch drains); one
+        object allocation cheaper per event than :meth:`call_after`.
+        """
+        if delay == 0.0:
+            entry = [self.clock._now, self._seq, fn, label, False]
+        else:
+            if delay < 0:
+                raise SimError(f"negative delay {delay!r}")
+            t = self.clock._now + delay
+            entry = [t, self._seq, fn, label, False]
+            self._seq += 1
+            heapq.heappush(self._heap, entry)
+            self._live += 1
+            return
+        self._seq += 1
+        self._fast.append(entry)
+        self._live += 1
+
+    def _call_soon_1(self, fn: Callable[[Any], None], arg: Any) -> None:
+        """Zero-delay schedule of a one-argument callable (Waiter path).
+
+        Skips EventHandle creation — waiter resumes are never cancelled.
+        """
+        entry = [self.clock._now, self._seq, _Resume1(fn, arg), None, False]
+        self._seq += 1
+        self._fast.append(entry)
+        self._live += 1
 
     def waiter(self) -> Waiter:
         """Create a new one-shot :class:`Waiter`."""
         return Waiter(self)
+
+    # ------------------------------------------------------------------
+    # cancellation accounting
+
+    def _on_cancel(self) -> None:
+        self._live -= 1
+        self._tombstones += 1
+        if (
+            self._tombstones >= _COMPACT_MIN_TOMBSTONES
+            and self._tombstones * 2 > len(self._heap) + len(self._fast)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop cancelled tombstones from both queues and re-heapify.
+
+        Mutates the queues in place: the run loop holds direct
+        references to them.
+        """
+        heap = self._heap
+        heap[:] = [e for e in heap if not e[_CANCELLED]]
+        heapq.heapify(heap)
+        fast = self._fast
+        for _ in range(len(fast)):
+            entry = fast.popleft()
+            if not entry[_CANCELLED]:
+                fast.append(entry)
+        self._tombstones = 0
 
     # ------------------------------------------------------------------
     # processes
@@ -207,10 +331,11 @@ class Simulation:
         Process resumption events are profiler-labelled ``proc:<name>``.
         """
         handle = ProcessHandle(gen, name)
+        step = self._step_process
+        handle._resume_none = lambda: step(handle, None)
+        handle._resume_value = lambda value: step(handle, value)
         self._processes.append(handle)
-        self.call_after(
-            0.0, lambda: self._step_process(handle, None), label=f"proc:{name}"
-        )
+        self.post(0.0, handle._resume_none, label=handle._label)
         return handle
 
     def _step_process(self, handle: ProcessHandle, send_value: Any) -> None:
@@ -236,17 +361,13 @@ class Simulation:
         self._dispatch_yield(handle, yielded)
 
     def _dispatch_yield(self, handle: ProcessHandle, yielded: Any) -> None:
-        label = f"proc:{handle.name}"
         if isinstance(yielded, Timeout):
-            self.call_after(
-                yielded.delay, lambda: self._step_process(handle, None), label=label
-            )
+            # Timeout validated delay >= 0 at construction
+            self.post(yielded.delay, handle._resume_none, label=handle._label)
         elif isinstance(yielded, Waiter):
-            yielded._add_waiter(lambda value: self._step_process(handle, value))
+            yielded._add_waiter(handle._resume_value)
         elif isinstance(yielded, (int, float)):
-            self.call_after(
-                float(yielded), lambda: self._step_process(handle, None), label=label
-            )
+            self.post(float(yielded), handle._resume_none, label=handle._label)
         else:
             handle.done = True
             raise SimError(
@@ -258,39 +379,71 @@ class Simulation:
     # running
 
     def run(self, until: Optional[float] = None, max_events: int = 50_000_000) -> float:
-        """Drain the event heap.
+        """Drain the event queues.
 
-        Runs until the heap is empty, or until virtual time would exceed
-        ``until`` (events strictly after ``until`` stay queued and the
-        clock is left at ``until``).  Returns the final virtual time.
+        Runs until both queues are empty, or until virtual time would
+        exceed ``until`` (events strictly after ``until`` stay queued and
+        the clock is left at ``until``).  Returns the final virtual time.
         ``max_events`` bounds runaway simulations.
         """
         if self._running:
             raise SimError("run() is not reentrant")
         self._running = True
+        # hot locals; the profiler is sampled once — attach before run()
+        clock = self.clock
+        heap = self._heap
+        fast = self._fast
+        heappop = heapq.heappop
+        prof = self.profiler
+        limit = _INF if until is None else until
+        consumed = 0  # fired events; flushed to _live in the finally
         try:
             fired = 0
-            while self._heap:
-                event = self._heap[0]
-                if event.cancelled:
-                    heapq.heappop(self._heap)
-                    continue
-                if until is not None and event.time > until:
+            while True:
+                # pick the globally smallest (time, seq) live entry
+                # across the heap and the zero-delay fast lane
+                if self._tombstones:
+                    while heap and heap[0][_CANCELLED]:
+                        heappop(heap)
+                        self._tombstones -= 1
+                    while fast and fast[0][_CANCELLED]:
+                        fast.popleft()
+                        self._tombstones -= 1
+                use_fast = False
+                if heap:
+                    entry = heap[0]
+                    if fast:
+                        fe = fast[0]
+                        if fe[0] < entry[0] or (fe[0] == entry[0] and fe[1] < entry[1]):
+                            entry = fe
+                            use_fast = True
+                elif fast:
+                    entry = fast[0]
+                    use_fast = True
+                else:
                     break
-                heapq.heappop(self._heap)
-                self.clock.advance_to(event.time)
-                if self.profiler is not None:
-                    self.profiler.on_event(
-                        event.label or _component_of(event.fn), event.time
-                    )
-                event.fn()
+                t = entry[_TIME]
+                if t > limit:
+                    break
+                if use_fast:
+                    fast.popleft()
+                else:
+                    heappop(heap)
+                consumed += 1
+                fn = entry[_FN]
+                entry[_FN] = None  # mark fired (cancel() becomes a no-op)
+                clock._now = t  # nondecreasing by the (time, seq) invariant
+                if prof is not None:
+                    prof.on_event(entry[_LABEL] or _component_of(fn), t)
+                fn()
                 fired += 1
                 if fired > max_events:
                     raise SimError(f"exceeded max_events={max_events}; runaway simulation?")
-            if until is not None and self.now() < until:
-                self.clock.advance_to(until)
-            return self.now()
+            if until is not None and clock._now < until:
+                clock.advance_to(until)
+            return clock._now
         finally:
+            self._live -= consumed
             self._running = False
 
     def run_for(self, duration: float) -> float:
@@ -299,8 +452,13 @@ class Simulation:
 
     @property
     def pending_events(self) -> int:
-        """Number of queued (non-cancelled) events."""
-        return sum(1 for e in self._heap if not e.cancelled)
+        """Number of queued (non-cancelled) events.
+
+        O(1).  Exact between :meth:`run` calls; read from inside a
+        running callback it may lag by the events fired so far in that
+        ``run`` (the counter is flushed when ``run`` returns).
+        """
+        return self._live
 
     def processes(self) -> Iterable[ProcessHandle]:
         """All processes ever spawned (including finished ones)."""

@@ -34,6 +34,7 @@ from repro._types import (
 )
 from repro.storage.errors import ConflictError, SnapshotUnavailableError, StorageError
 from repro.storage.history import ChangeHistory, CommittedTransaction
+from repro.storage.keyindex import SortedKeyIndex
 from repro.storage.snapshot import SnapshotView
 from repro.storage.tso import TimestampOracle
 
@@ -85,7 +86,7 @@ class MVCCStore:
         self.tso = tso or TimestampOracle()
         self.history = ChangeHistory(retention_commits=history_retention_commits)
         self._chains: Dict[Key, _VersionChain] = {}
-        self._sorted_keys: List[Key] = []  # all keys ever written, sorted
+        self._key_index = SortedKeyIndex()  # all keys ever written
         self._gc_watermark: Version = VERSION_ZERO
         self._clock = clock or (lambda: 0.0)
         self.bytes_written = 0  # hard-state accounting for experiment E8
@@ -127,7 +128,7 @@ class MVCCStore:
             if chain is None:
                 chain = _VersionChain()
                 self._chains[key] = chain
-                bisect.insort(self._sorted_keys, key)
+                self._key_index.add(key)  # amortized O(1), merged on read
             chain.append(version, mutation)
             self.bytes_written += len(key) + mutation.size()
         self.commit_count += 1
@@ -184,10 +185,9 @@ class MVCCStore:
         """Yield (key, value) pairs in ``key_range`` at ``version``,
         in key order, skipping deleted/absent keys."""
         version = self._check_version(version)
-        lo = bisect.bisect_left(self._sorted_keys, key_range.low)
-        hi = bisect.bisect_left(self._sorted_keys, key_range.high)
-        for key in self._sorted_keys[lo:hi]:
-            mutation = self._chains[key].at(version)
+        chains = self._chains
+        for key in self._key_index.irange(key_range.low, key_range.high):
+            mutation = chains[key].at(version)
             if mutation is not None and not mutation.is_delete:
                 yield (key, mutation.value)
 
@@ -195,7 +195,15 @@ class MVCCStore:
         self, key_range: KeyRange = KeyRange.all(), version: Optional[Version] = None
     ) -> int:
         """Number of live keys in ``key_range`` at ``version``."""
-        return sum(1 for _ in self.scan(key_range, version))
+        # direct walk: no (key, value) tuple per live key as scan pays
+        version = self._check_version(version)
+        chains = self._chains
+        n = 0
+        for key in self._key_index.irange(key_range.low, key_range.high):
+            mutation = chains[key].at(version)
+            if mutation is not None and not mutation.is_delete:
+                n += 1
+        return n
 
     def snapshot(self, version: Optional[Version] = None) -> SnapshotView:
         """An immutable read view at ``version`` (default: latest)."""
@@ -233,9 +241,7 @@ class MVCCStore:
 
     def keys(self, key_range: KeyRange = KeyRange.all()) -> List[Key]:
         """All keys ever written in range (live or deleted)."""
-        lo = bisect.bisect_left(self._sorted_keys, key_range.low)
-        hi = bisect.bisect_left(self._sorted_keys, key_range.high)
-        return self._sorted_keys[lo:hi]
+        return self._key_index.slice(key_range.low, key_range.high)
 
     # ------------------------------------------------------------------
     # transactions
