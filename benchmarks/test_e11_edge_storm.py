@@ -1,0 +1,77 @@
+"""E11: edge tier — reconnect storm, slow clients, session policies."""
+
+from conftest import run_once
+
+from repro.bench.experiments import e11_edge_storm
+
+
+def test_e11_edge_storm(benchmark):
+    result = run_once(benchmark, e11_edge_storm.run, e11_edge_storm.QUICK)
+    sessions = result.table("edge sessions")
+    provenance = result.table("delivery provenance")
+    trace = result.table("trace summary")
+
+    # conservation: every offered update is attributed to exactly one
+    # outcome bucket, in every configuration
+    for row in provenance.rows:
+        assert row["attributed_pct"] == 100.0, row["config"]
+
+    coalesce = provenance.row_by("config", "watch-coalesce")
+    disconnect = provenance.row_by("config", "watch-disconnect")
+    drop = provenance.row_by("config", "pubsub-drop")
+    unbounded = provenance.row_by("config", "pubsub-unbounded")
+
+    # watch with coalescing: bounded queues, nothing dropped, and the
+    # final state converges for every client — supersession is not loss
+    assert coalesce["dropped_edge"] == 0
+    assert coalesce["final_stale"] == 0
+    assert coalesce["coalesced"] > 0
+    coalesce_sessions = sessions.row_by("config", "watch-coalesce")
+    assert coalesce_sessions["peak_q_slow"] <= e11_edge_storm.QUICK["num_keys"]
+
+    # watch with disconnect: sessions cycle, queued updates return to
+    # the durable cursor, and still nothing is lost
+    assert disconnect["dropped_edge"] == 0
+    assert disconnect["final_stale"] == 0
+    assert disconnect["returned"] > 0
+    disconnect_sessions = sessions.row_by("config", "watch-disconnect")
+    assert disconnect_sessions["sessions"] > coalesce_sessions["sessions"]
+    assert disconnect_sessions["snapshots"] > 0
+
+    # pubsub with a bounded queue must shed, and every shed update is
+    # attributed by trace provenance as "dropped at edge"
+    assert drop["dropped_edge"] > 0
+    drop_trace = trace.row_by("config", "pubsub-drop")
+    assert drop_trace["drop_provenance"] == drop_trace["edge_dropped"]
+    assert drop_trace["edge_dropped"] == drop["dropped_edge"]
+
+    # pubsub refusing to shed grows a queue far beyond the bounded
+    # watch-coalesce peak (every-message contract, no supersession)
+    unbounded_sessions = sessions.row_by("config", "pubsub-unbounded")
+    assert unbounded_sessions["peak_q_slow"] > (
+        3 * coalesce_sessions["peak_q_slow"]
+    )
+    assert unbounded["dropped_edge"] == 0
+
+    # reconnect catch-up hits the source tier only for pubsub: watch
+    # storms are absorbed by the frontends' own relay state
+    assert sessions.row_by("config", "pubsub-drop")["replayed"] > 0
+    assert coalesce_sessions["replayed"] == 0
+    assert drop["src_per_commit"] > coalesce["src_per_commit"]
+
+
+def test_e11_replays_identically(benchmark):
+    """Identical seed ⇒ identical storm schedule and tables."""
+
+    def run_twice():
+        first = e11_edge_storm.run(**e11_edge_storm.QUICK)
+        second = e11_edge_storm.run(**e11_edge_storm.QUICK)
+        return first, second
+
+    first, second = benchmark.pedantic(run_twice, rounds=1, iterations=1)
+    flatten = lambda result: [
+        tuple(sorted(row.items()))
+        for table in result.tables
+        for row in table.rows
+    ]
+    assert flatten(first) == flatten(second)

@@ -1,0 +1,139 @@
+"""Edge-tier micro-benchmarks: session fan-out with mixed client speeds.
+
+Same contract as the other ``test_perf_*`` modules: real
+pytest-benchmark timing loops with exact-count assertions, so the
+numbers are comparable across runs and the measured work is provably
+the same work every time.
+"""
+
+import pytest
+
+from repro._types import KeyRange
+from repro.core.bridge import DirectIngestBridge
+from repro.core.watch_system import WatchSystem
+from repro.edge.client import EdgeClient
+from repro.edge.frontend import EdgeFrontendConfig, WatchEdgeFrontend
+from repro.edge.session import (
+    ClientSession,
+    SessionConfig,
+    SlowConsumerPolicy,
+    Update,
+)
+from repro.sim.kernel import Simulation, Timeout
+from repro.storage.kv import MVCCStore
+
+
+class _StaticPlacement:
+    def __init__(self, frontend):
+        self.frontend = frontend
+
+    def frontend_for(self, client_name):
+        return self.frontend
+
+
+class _GreedyClient:
+    """Applies instantly and grants a credit back per item."""
+
+    def __init__(self):
+        self.name = "c"
+        self.applied = 0
+
+    def on_delivery(self, session, item):
+        self.applied += 1
+        session.grant()
+
+    def on_session_closed(self, session, reason):
+        pass
+
+
+def test_edge_session_offer_hotpath(benchmark):
+    """50k offers through one bounded drop-policy session."""
+
+    def run():
+        sim = Simulation(seed=1)
+        client = _GreedyClient()
+        session = ClientSession(
+            sim, "fe/c", client, KeyRange.all(),
+            config=SessionConfig(
+                policy=SlowConsumerPolicy.DROP, max_queue=64,
+                initial_credits=32, delivery_latency=0.0,
+            ),
+        )
+        for i in range(1, 50_001):
+            session.offer(Update(key=f"k{i % 100:03d}", version=i, value=i))
+        sim.run()
+        # conservation is exact: everything offered was delivered,
+        # shed by the bound, or still queued at the end
+        assert session.attributed == session.offered == 50_000
+        return session.delivered + session.dropped + session.queued_updates
+
+    assert benchmark(run) == 50_000
+
+
+def test_edge_fanout_mixed_clients(benchmark):
+    """2k commits fanned out to 40 sessions, one quarter slow.
+
+    Slow clients coalesce (bounded queues); fast clients take every
+    update.  The exact-count assertions pin both: every fast client
+    applies all 2k updates, and every client (slow included) converges
+    to the store's final state.
+    """
+
+    def run():
+        sim = Simulation(seed=1)
+        store = MVCCStore(clock=sim.now)
+        source = WatchSystem(sim, name="src")
+        DirectIngestBridge(sim, store.history, source, latency=0.001,
+                           progress_interval=1.0)
+
+        def snapshot(key_range):
+            version = store.last_version
+            return version, dict(store.scan(key_range, version))
+
+        frontend = WatchEdgeFrontend(
+            sim, "fe0", source, snapshot,
+            config=EdgeFrontendConfig(
+                session=SessionConfig(
+                    policy=SlowConsumerPolicy.COALESCE, max_queue=256,
+                    initial_credits=4, delivery_latency=0.0005,
+                ),
+            ),
+        )
+        placement = _StaticPlacement(frontend)
+        clients = [
+            EdgeClient(
+                sim, f"c{i:02d}", placement,
+                # slow clients consume 80/s (4 credits / 0.05s), well
+                # under the 200/s write rate; fast clients keep up
+                service_time=0.05 if i % 4 == 0 else 0.0,
+            )
+            for i in range(40)
+        ]
+        for client in clients:
+            client.connect()
+        sim.run(until=0.5)  # let the relay sync and sessions attach
+
+        def writer():
+            for i in range(2_000):
+                store.put(f"k{i % 100:03d}", i)
+                yield Timeout(0.005)
+
+        sim.spawn(writer(), name="writer")
+        sim.run(until=30.0)
+
+        latest = dict(store.scan(KeyRange.all(), store.last_version))
+        fast_applied = 0
+        for i, client in enumerate(clients):
+            assert client.state == latest, client.name
+            totals = client.finalize()
+            assert totals["offered"] == sum(
+                totals[k]
+                for k in ("delivered", "coalesced", "dropped", "returned",
+                          "queued")
+            )
+            if i % 4 != 0:
+                fast_applied += client.updates_applied
+        return fast_applied
+
+    # 30 fast clients x 2k updates, delivered exactly once each
+    assert benchmark(run) == 60_000

@@ -1,0 +1,36 @@
+"""The edge delivery tier: client sessions on fan-out frontends.
+
+Terminates many resumable client sessions on frontend nodes served
+from either pipeline (watch relays or pubsub consumer feeds), with
+per-session credit-based flow control, pluggable slow-consumer
+policies, durable reconnect cursors, and sharded session placement.
+See docs/edge.md.
+"""
+
+from repro.edge.client import EdgeClient
+from repro.edge.frontend import (
+    EdgeFrontendConfig,
+    PubsubEdgeFrontend,
+    WatchEdgeFrontend,
+)
+from repro.edge.placement import SessionPlacement
+from repro.edge.session import (
+    ClientSession,
+    SessionConfig,
+    SlowConsumerPolicy,
+    SnapshotDelivery,
+    Update,
+)
+
+__all__ = [
+    "ClientSession",
+    "EdgeClient",
+    "EdgeFrontendConfig",
+    "PubsubEdgeFrontend",
+    "SessionConfig",
+    "SessionPlacement",
+    "SlowConsumerPolicy",
+    "SnapshotDelivery",
+    "Update",
+    "WatchEdgeFrontend",
+]

@@ -1,0 +1,511 @@
+"""Edge frontends: session termination for both delivery pipelines.
+
+A frontend is the fan-out node the paper's architecture needs between
+the source tier and millions of clients.  Two implementations, one per
+pipeline, both hosting :class:`~repro.edge.session.ClientSession`s:
+
+:class:`WatchEdgeFrontend`
+    Wraps a :class:`~repro.core.relay.WatchRelay`: the frontend holds a
+    materialized replica of the keyspace and serves *both* reconnect
+    paths locally — delta catch-up from the relay's fan-out buffer and
+    snapshot re-serves from the relay's versioned state — so a
+    reconnect storm costs the source tier nothing beyond the one
+    standing relay stream.  When ``net`` is given, that stream crosses
+    a lossy link via ``ReliableFanoutLink`` (ordered ReliableChannel +
+    breaker), the resilience hop the tentpole requires.
+
+:class:`PubsubEdgeFrontend`
+    Subscribes a free consumer to the topic (every message, once per
+    frontend) and routes messages to sessions by key range.  There is
+    no snapshot to re-serve — pubsub's contract is every-message — so
+    reconnect catch-up *replays the broker's partition logs* from the
+    client's offset cursor: a storm multiplies load on the source-side
+    log, which is exactly the §4.4 amplification E11 measures.
+
+The reconnect decision rule lives here: a client whose cursor is within
+``catchup_threshold`` of the frontend head gets delta catch-up; one
+further behind (or below the retained floor) gets a snapshot re-serve
+(watch) or a longer log replay (pubsub).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro._types import KeyRange, Version
+from repro.core.api import WatchCallback
+from repro.core.linked_cache import LinkedCacheConfig, SnapshotUnavailable
+from repro.core.relay import (
+    ReliableFanoutEndpoint,
+    ReliableFanoutLink,
+    WatchRelay,
+)
+from repro.core.stream import WatcherConfig
+from repro.core.watch_system import WatchSystem, WatchSystemConfig
+from repro.edge.session import (
+    ClientSession,
+    SessionConfig,
+    SlowConsumerPolicy,
+    Update,
+)
+from repro.obs.trace import hops, payload_version
+from repro.pubsub.broker import Broker
+from repro.pubsub.consumer import Consumer
+from repro.pubsub.message import Message
+from repro.resilience.channel import ChannelConfig, ReliableChannel
+from repro.sim.kernel import Simulation
+from repro.sim.metrics import MetricsRegistry
+from repro.sim.network import Network
+
+#: the relay->session pipe: instant, unbounded — backpressure is the
+#: session queue's job, never the relay-side watcher queue's
+_FEED_CONFIG = WatcherConfig(
+    delivery_latency=0.0, service_time=0.0, max_backlog=1_000_000_000
+)
+
+
+@dataclass
+class EdgeFrontendConfig:
+    """Shared frontend parameters (both pipelines)."""
+
+    session: SessionConfig = field(default_factory=SessionConfig)
+    #: Reconnect decision rule: delta catch-up when the client's cursor
+    #: is within this many versions (watch) or messages (pubsub) of the
+    #: frontend head; otherwise snapshot re-serve / full log replay.
+    catchup_threshold: int = 500
+    #: Edge-served snapshot latency (local state, no source round-trip).
+    snapshot_latency: float = 0.005
+    #: Retry delay while the relay is mid-resync (SnapshotUnavailable).
+    snapshot_retry: float = 0.05
+    #: Pubsub catch-up: log messages replayed per batch, and the pause
+    #: between batches (models a fetch round-trip to the broker log).
+    replay_batch: int = 64
+    replay_latency: float = 0.002
+
+    def __post_init__(self) -> None:
+        if self.catchup_threshold < 0:
+            raise ValueError("catchup_threshold must be >= 0")
+        if self.replay_batch < 1:
+            raise ValueError("replay_batch must be >= 1")
+
+
+class _SessionFeed(WatchCallback):
+    """Adapter: one relay watch feeding one client session."""
+
+    __slots__ = ("frontend", "session")
+
+    def __init__(self, frontend: "WatchEdgeFrontend", session: ClientSession):
+        self.frontend = frontend
+        self.session = session
+
+    def on_event(self, event) -> None:
+        mutation = event.mutation
+        self.session.offer(Update(
+            key=event.key,
+            version=event.version,
+            value=mutation.value,
+            is_delete=mutation.is_delete,
+        ))
+
+    def on_progress(self, event) -> None:
+        pass  # sessions deliver values, not knowledge windows
+
+    def on_resync(self) -> None:
+        # the relay lost history below this session's position (its own
+        # upstream resync raised the fan-out floor); re-serve a snapshot
+        self.frontend._feed_resynced(self.session)
+
+
+class WatchEdgeFrontend:
+    """Watch-pipeline frontend: relay replica + client sessions."""
+
+    def __init__(
+        self,
+        sim: Simulation,
+        name: str,
+        upstream,  # anything with watch_range (WatchSystem/StoreWatch/relay)
+        snapshot_fn,
+        net: Optional[Network] = None,
+        channel_config: Optional[ChannelConfig] = None,
+        config: Optional[EdgeFrontendConfig] = None,
+        relay_config: Optional[LinkedCacheConfig] = None,
+        fanout_config: Optional[WatchSystemConfig] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        tracer=None,
+    ) -> None:
+        self.sim = sim
+        self.name = name
+        self.config = config or EdgeFrontendConfig()
+        self.tracer = tracer
+        self.up = True
+        self.sessions: Dict[str, ClientSession] = {}
+        self.connects = 0
+        self.catchups_served = 0
+        self.snapshots_served = 0
+        self.snapshot_retries = 0
+        self.feed_resyncs = 0
+        #: source-tier load: snapshots the relay itself pulled from the
+        #: store (edge-served client snapshots never touch this)
+        self.source_snapshots = 0
+
+        def counted_snapshot_fn(key_range):
+            self.source_snapshots += 1
+            return snapshot_fn(key_range)
+
+        if net is not None:
+            # source stream crosses the wire: upstream -> reliable link
+            # -> endpoint -> local ingest watch system -> relay
+            self._ingest = WatchSystem(sim, name=f"{name}-ingest", tracer=tracer)
+            self.endpoint = ReliableFanoutEndpoint(
+                sim, net, f"{name}-ep", self._ingest,
+                config=channel_config, metrics=metrics, tracer=tracer,
+            )
+            self.link = ReliableFanoutLink(
+                sim, upstream, net, f"{name}-uplink", f"{name}-ep",
+                config=channel_config, metrics=metrics, tracer=tracer,
+            )
+            relay_upstream = self._ingest
+        else:
+            self._ingest = None
+            self.endpoint = None
+            self.link = None
+            relay_upstream = upstream
+        self.relay = WatchRelay(
+            sim, relay_upstream, counted_snapshot_fn, KeyRange.all(),
+            config=relay_config, fanout_config=fanout_config,
+            name=f"{name}-relay", tracer=tracer,
+        )
+        self.relay.start()
+
+    # ------------------------------------------------------------------
+    # session lifecycle
+
+    def head_version(self) -> Version:
+        """Newest version this frontend can serve."""
+        return self.relay.knowledge.max_known_version()
+
+    def connect(self, client) -> ClientSession:
+        """Terminate a client session here; choose the catch-up path."""
+        if not self.up:
+            raise RuntimeError(f"frontend {self.name} is down")
+        self.connects += 1
+        session = ClientSession(
+            self.sim, f"{self.name}/{client.name}", client,
+            key_range=client.key_range, config=self.config.session,
+            on_closed=self._session_closed, tracer=self.tracer,
+        )
+        self.sessions[client.name] = session
+        cursor = client.cursor
+        head = self.head_version()
+        staleness = head - cursor if head > cursor else 0
+        session.staleness_at_connect = staleness
+        client.staleness_at_connect.append(staleness)
+        threshold = self.config.catchup_threshold
+        if self.config.session.policy is SlowConsumerPolicy.DISCONNECT:
+            # a delta catch-up larger than the queue bound is guaranteed
+            # to overflow a disconnect-policy session before a single
+            # delivery runs — the reconnect cycle would never progress
+            threshold = min(threshold, self.config.session.max_queue)
+        delta = staleness <= threshold
+        if self.tracer is not None:
+            self.tracer.record(
+                hops.EDGE_CONNECT, self.name,
+                session=session.name, client=client.name,
+                mode="delta" if delta else "snapshot", staleness=staleness,
+            )
+        if delta:
+            self.catchups_served += 1
+            self._attach_feed(session, cursor)
+        else:
+            self._schedule_snapshot(session)
+        return session
+
+    def _attach_feed(self, session: ClientSession, from_version: Version) -> None:
+        feed = _SessionFeed(self, session)
+        handle = self.relay.watch_range(
+            session.key_range, from_version, feed, config=_FEED_CONFIG
+        )
+        if session.active:
+            session._feed_handle = handle
+        elif handle.active:
+            # the catch-up replay itself closed the session (overflow)
+            handle.cancel()
+
+    def _feed_resynced(self, session: ClientSession) -> None:
+        if not session.active or not self.up:
+            return
+        self.feed_resyncs += 1
+        session._feed_handle = None
+        self._schedule_snapshot(session)
+
+    def _schedule_snapshot(self, session: ClientSession) -> None:
+        self.sim.call_after(
+            self.config.snapshot_latency, lambda: self._serve_snapshot(session)
+        )
+
+    def _serve_snapshot(self, session: ClientSession) -> None:
+        if not session.active or not self.up:
+            return
+        try:
+            version, items = self.relay.snapshot_for_downstream(session.key_range)
+        except SnapshotUnavailable:
+            # relay mid-(re)sync; back off and retry from edge state
+            self.snapshot_retries += 1
+            self.sim.call_after(
+                self.config.snapshot_retry, lambda: self._serve_snapshot(session)
+            )
+            return
+        self.snapshots_served += 1
+        if self.tracer is not None:
+            self.tracer.record(
+                hops.EDGE_SNAPSHOT, self.name,
+                session=session.name, snapshot_version=version,
+                size=len(items),
+            )
+        session.offer_snapshot(version, items)
+        self._attach_feed(session, version)
+
+    def _session_closed(self, session: ClientSession, reason: str) -> None:
+        if self.sessions.get(session.client.name) is session:
+            del self.sessions[session.client.name]
+        handle = session._feed_handle
+        session._feed_handle = None
+        if handle is not None and handle.active:
+            handle.cancel()
+
+    # ------------------------------------------------------------------
+    # Failable protocol
+
+    def crash(self) -> None:
+        """Fail the frontend: all sessions drop, the replica goes cold."""
+        if not self.up:
+            return
+        self.up = False
+        for session in list(self.sessions.values()):
+            session.close("frontend-down")
+        if self.link is not None:
+            self.link.crash()
+            self.endpoint.crash()
+        self.relay.suspend()
+
+    def recover(self) -> None:
+        if self.up:
+            return
+        self.up = True
+        if self.link is not None:
+            self.link.recover()
+            self.endpoint.recover()
+        self.relay.resume()
+
+    @property
+    def active_sessions(self) -> int:
+        return len(self.sessions)
+
+
+class PubsubEdgeFrontend:
+    """Pubsub-pipeline frontend: free consumer + log-replay catch-up."""
+
+    def __init__(
+        self,
+        sim: Simulation,
+        name: str,
+        broker: Broker,
+        topic: str,
+        config: Optional[EdgeFrontendConfig] = None,
+        net: Optional[Network] = None,
+        channel_config: Optional[ChannelConfig] = None,
+        metrics: Optional[MetricsRegistry] = None,
+        tracer=None,
+    ) -> None:
+        if config is None:
+            config = EdgeFrontendConfig(
+                session=SessionConfig(policy=SlowConsumerPolicy.DROP)
+            )
+        if config.session.policy is SlowConsumerPolicy.COALESCE:
+            raise ValueError(
+                "coalesce is watch-only by construction: the pubsub "
+                "contract is every-message delivery (§4.4)"
+            )
+        self.sim = sim
+        self.name = name
+        self.config = config
+        self.tracer = tracer
+        self.up = True
+        self.topic = broker.topic(topic)
+        self.sessions: Dict[str, ClientSession] = {}
+        self.connects = 0
+        self.catchups_served = 0
+        self.events_ingested = 0
+        #: source-tier load: messages re-read from the broker's
+        #: partition logs for reconnect catch-up
+        self.replayed = 0
+        #: offsets silently missing during replay (GC'd / compacted)
+        self.replay_gaps = 0
+        self._consumer = Consumer(sim, f"{name}-consumer", handler=self._on_message)
+        self.feed = broker.free_consumer(topic, self._consumer)
+        if net is not None:
+            # broker-side relay of the free-consumer stream to the
+            # frontend across the wire; ordered so per-partition offset
+            # dedupe sees monotone arrivals
+            if channel_config is None:
+                channel_config = ChannelConfig(ordered=True)
+            self._uplink = ReliableChannel(
+                sim, net, f"{name}-uplink", config=channel_config,
+                metrics=metrics, tracer=tracer,
+            )
+            self._edge_channel = ReliableChannel(
+                sim, net, f"{name}-ep",
+                handler=lambda src, message: self._ingest(message),
+                config=channel_config, metrics=metrics, tracer=tracer,
+            )
+        else:
+            self._uplink = None
+            self._edge_channel = None
+
+    # ------------------------------------------------------------------
+    # live path: broker -> free consumer -> (wire) -> sessions
+
+    def _on_message(self, message: Message):
+        if self._uplink is not None:
+            self._uplink.send(f"{self.name}-ep", message)
+        else:
+            self._ingest(message)
+        return True
+
+    def _ingest(self, message: Message) -> None:
+        if not self.up:
+            return
+        self.events_ingested += 1
+        for session in list(self.sessions.values()):
+            if not session.live:
+                continue  # still replaying the log; it will get there
+            if message.key is not None and not session.key_range.contains(message.key):
+                continue
+            expected = session.expected_offsets.get(message.partition, 0)
+            if message.offset < expected:
+                continue  # already served by replay (or a dup)
+            session.expected_offsets[message.partition] = message.offset + 1
+            session.offer(self._update_from(message))
+
+    @staticmethod
+    def _update_from(message: Message) -> Update:
+        payload = message.payload
+        version = payload_version(payload)
+        value = payload.get("value") if isinstance(payload, dict) else payload
+        return Update(
+            key=message.key,
+            version=version if version is not None else 0,
+            value=value,
+            partition=message.partition,
+            offset=message.offset,
+        )
+
+    # ------------------------------------------------------------------
+    # session lifecycle
+
+    def head_offsets(self) -> Dict[int, int]:
+        return {log.partition: log.next_offset for log in self.topic.partitions}
+
+    def connect(self, client) -> ClientSession:
+        """Terminate a session; replay the log from the client's cursor."""
+        if not self.up:
+            raise RuntimeError(f"frontend {self.name} is down")
+        self.connects += 1
+        session = ClientSession(
+            self.sim, f"{self.name}/{client.name}", client,
+            key_range=client.key_range, config=self.config.session,
+            on_closed=self._session_closed, tracer=self.tracer,
+        )
+        offsets = dict(client.offsets)
+        for log in self.topic.partitions:
+            offsets.setdefault(log.partition, 0)
+        session.expected_offsets = offsets
+        staleness = sum(
+            max(0, log.next_offset - offsets[log.partition])
+            for log in self.topic.partitions
+        )
+        session.staleness_at_connect = staleness
+        client.staleness_at_connect.append(staleness)
+        self.sessions[client.name] = session
+        if self.tracer is not None:
+            self.tracer.record(
+                hops.EDGE_CONNECT, self.name,
+                session=session.name, client=client.name,
+                mode="replay" if staleness else "live", staleness=staleness,
+            )
+        if staleness:
+            # there is no snapshot to re-serve: pubsub must deliver every
+            # message, however far behind — so catch-up always replays
+            # the source log (catchup_threshold only sizes the batches
+            # already; a longer lag just means more batches)
+            self.catchups_served += 1
+            session.live = False
+            self.sim.call_after(
+                self.config.replay_latency, lambda: self._replay_step(session)
+            )
+        return session
+
+    def _replay_step(self, session: ClientSession) -> None:
+        if not session.active or not self.up:
+            return
+        behind = False
+        for log in self.topic.partitions:
+            expected = session.expected_offsets.get(log.partition, 0)
+            if expected >= log.next_offset:
+                continue
+            messages = log.read_from(expected, limit=self.config.replay_batch)
+            if not messages:
+                # everything from the cursor to the head is gone (GC)
+                self.replay_gaps += log.next_offset - expected
+                session.expected_offsets[log.partition] = log.next_offset
+                continue
+            for message in messages:
+                if message.offset > expected:
+                    # silent hole: retention GC or compaction (§3.1)
+                    self.replay_gaps += message.offset - expected
+                expected = message.offset + 1
+                session.expected_offsets[log.partition] = expected
+                self.replayed += 1
+                session.offer(self._update_from(message))
+                if not session.active:
+                    return  # replay overflowed a disconnect-policy session
+            if expected < log.next_offset:
+                behind = True
+        if behind:
+            self.sim.call_after(
+                self.config.replay_latency, lambda: self._replay_step(session)
+            )
+        else:
+            session.live = True
+
+    def _session_closed(self, session: ClientSession, reason: str) -> None:
+        if self.sessions.get(session.client.name) is session:
+            del self.sessions[session.client.name]
+
+    # ------------------------------------------------------------------
+    # Failable protocol
+
+    def crash(self) -> None:
+        if not self.up:
+            return
+        self.up = False
+        for session in list(self.sessions.values()):
+            session.close("frontend-down")
+        self._consumer.crash()
+        if self._uplink is not None:
+            self._uplink.crash()
+            self._edge_channel.crash()
+
+    def recover(self) -> None:
+        if self.up:
+            return
+        self.up = True
+        self._consumer.recover()
+        if self._uplink is not None:
+            self._uplink.recover()
+            self._edge_channel.recover()
+
+    @property
+    def active_sessions(self) -> int:
+        return len(self.sessions)

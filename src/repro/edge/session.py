@@ -1,0 +1,313 @@
+"""Client sessions: credit-based flow control and slow-consumer policy.
+
+A :class:`ClientSession` is the edge tier's unit of delivery — one
+connected client on one frontend.  The frontend offers updates into the
+session's bounded queue; the client grants *credits* as it finishes
+processing, and the session delivers at most one queued item per credit.
+A slow client therefore backs up its own session queue, never the
+frontend's source feed — and what happens when that queue fills is the
+session's **slow-consumer policy**, the knob the paper says separates
+watch from pubsub delivery (§4.4, §3.2):
+
+- ``coalesce`` — keep only the latest value per key.  Superseded
+  updates are counted (and traced as ``edge.coalesce``) rather than
+  delivered; the client converges to the same final state with a
+  bounded queue (at most one entry per distinct key).  Watch-only by
+  construction: pubsub contracts promise every message.
+- ``bounded-buffer-drop`` — shed the oldest queued update, tracing
+  ``edge.drop`` so loss provenance can attribute it ("dropped at
+  edge").  This is the pubsub reality the paper criticizes: the client
+  silently misses intermediate (and possibly final) values.
+- ``disconnect`` — close the session on overflow; the client's durable
+  cursor makes reconnect catch-up re-serve everything still queued.
+
+Every offered update ends in exactly one bucket — delivered, coalesced,
+dropped, returned-to-cursor (queued at close, re-servable via the
+cursor), or still queued — so ``attributed == offered`` is an invariant
+E11 asserts as its 100%-attribution acceptance bar.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from enum import Enum
+from typing import Any, Callable, Deque, Dict, List, Optional
+
+from repro._types import Key, KeyRange, Version
+from repro.obs.trace import hops
+from repro.sim.kernel import Simulation
+
+
+class SlowConsumerPolicy(str, Enum):
+    """What a session does when its bounded queue is full."""
+
+    COALESCE = "coalesce"
+    DROP = "bounded-buffer-drop"
+    DISCONNECT = "disconnect"
+
+
+@dataclass
+class SessionConfig:
+    """Per-session delivery parameters."""
+
+    policy: SlowConsumerPolicy = SlowConsumerPolicy.COALESCE
+    #: Queue bound the slow-consumer policy enforces.
+    max_queue: int = 256
+    #: Credits granted at connect; the client returns one per item it
+    #: finishes processing, so at most this many deliveries are in
+    #: flight at the client at once.
+    initial_credits: int = 32
+    #: Frontend -> client delivery latency per item.
+    delivery_latency: float = 0.001
+
+    def __post_init__(self) -> None:
+        if self.max_queue < 1:
+            raise ValueError("max_queue must be >= 1")
+        if self.initial_credits < 1:
+            raise ValueError("initial_credits must be >= 1")
+        if self.delivery_latency < 0:
+            raise ValueError("delivery_latency must be >= 0")
+
+
+@dataclass(frozen=True)
+class Update:
+    """One update offered to a session, from either pipeline.
+
+    Watch updates carry the MVCC commit version; pubsub updates also
+    carry their partition/offset so the client can advance its offset
+    cursor.
+    """
+
+    key: Key
+    version: Version
+    value: Any = None
+    is_delete: bool = False
+    partition: Optional[int] = None
+    offset: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class SnapshotDelivery:
+    """A full re-serve of the session's range at one version."""
+
+    version: Version
+    items: Dict[Key, Any]
+
+
+class ClientSession:
+    """One connected client on one frontend: queue, credits, policy."""
+
+    def __init__(
+        self,
+        sim: Simulation,
+        name: str,
+        client,  # anything with on_delivery(session, item) / on_session_closed
+        key_range: KeyRange,
+        config: Optional[SessionConfig] = None,
+        on_closed: Optional[Callable[["ClientSession", str], None]] = None,
+        tracer=None,
+    ) -> None:
+        self.sim = sim
+        self.name = name
+        self.client = client
+        self.key_range = key_range
+        self.config = config or SessionConfig()
+        self.tracer = tracer
+        self._on_closed = on_closed
+        self._policy = self.config.policy
+        self._max_queue = self.config.max_queue
+        self._delivery_latency = self.config.delivery_latency
+        #: queue entries are single-slot cells ``[Update]`` (so coalesce
+        #: can swap in a newer value in place) or SnapshotDelivery
+        self._queue: Deque[object] = deque()
+        #: COALESCE only: pending cell per key
+        self._cells: Dict[Key, List[Update]] = {}
+        self.credits = self.config.initial_credits
+        self._draining = False
+        self._active = True
+        self.close_reason: Optional[str] = None
+        #: sampled by the frontend at connect (versions or messages behind)
+        self.staleness_at_connect = 0
+        # frontend-managed delivery state (pubsub catch-up)
+        self.live = True
+        self.expected_offsets: Dict[int, int] = {}
+        self._feed_handle = None
+        # conservation accounting: every offered update lands in exactly
+        # one of delivered / coalesced / dropped / returned_to_cursor /
+        # still-queued
+        self.offered = 0
+        self.delivered = 0
+        self.coalesced = 0
+        self.dropped = 0
+        self.returned_to_cursor = 0
+        self.snapshots_delivered = 0
+        self.peak_queue = 0
+
+    # ------------------------------------------------------------------
+    # producer side (frontends call these)
+
+    def offer(self, update: Update) -> None:
+        """Enqueue one update, applying the slow-consumer policy."""
+        if not self._active:
+            return
+        self.offered += 1
+        queue = self._queue
+        if self._policy is SlowConsumerPolicy.COALESCE:
+            cell = self._cells.get(update.key)
+            if cell is not None:
+                superseded = cell[0]
+                cell[0] = update
+                self.coalesced += 1
+                if self.tracer is not None:
+                    self.tracer.record(
+                        hops.EDGE_COALESCE, self.name,
+                        key=superseded.key, version=superseded.version,
+                        session=self.name, superseded_by=update.version,
+                    )
+                return
+        if len(queue) >= self._max_queue:
+            if self._policy is SlowConsumerPolicy.DISCONNECT:
+                # the triggering update was never queued; the client's
+                # cursor has not passed it, so reconnect re-serves it
+                self.returned_to_cursor += 1
+                self.close("slow-consumer")
+                return
+            self._drop_oldest()
+        cell = [update]
+        queue.append(cell)
+        if self._policy is SlowConsumerPolicy.COALESCE:
+            self._cells[update.key] = cell
+        if len(queue) > self.peak_queue:
+            self.peak_queue = len(queue)
+        self._kick()
+
+    def offer_snapshot(self, version: Version, items: Dict[Key, Any]) -> None:
+        """Enqueue a full re-serve (not subject to the queue bound)."""
+        if not self._active:
+            return
+        self._queue.append(SnapshotDelivery(version, dict(items)))
+        if len(self._queue) > self.peak_queue:
+            self.peak_queue = len(self._queue)
+        self._kick()
+
+    def _drop_oldest(self) -> None:
+        # oldest *update* — a queued snapshot (only ever near the head)
+        # is never shed, or the client's state would silently diverge
+        queue = self._queue
+        for idx, item in enumerate(queue):
+            if item.__class__ is SnapshotDelivery:
+                continue
+            victim = item[0]
+            del queue[idx]
+            if self._cells.get(victim.key) is item:
+                del self._cells[victim.key]
+            self.dropped += 1
+            if self.tracer is not None:
+                self.tracer.record(
+                    hops.EDGE_DROP, self.name,
+                    key=victim.key, version=victim.version,
+                    session=self.name, policy=self._policy.value,
+                )
+            return
+
+    # ------------------------------------------------------------------
+    # consumer side (the client grants credits)
+
+    def grant(self, credits: int = 1) -> None:
+        """Return ``credits`` flow-control credits to the session."""
+        if not self._active:
+            return
+        self.credits += credits
+        self._kick()
+
+    def _kick(self) -> None:
+        if (
+            self._active
+            and not self._draining
+            and self.credits > 0
+            and self._queue
+        ):
+            self._draining = True
+            self.sim.post(self._delivery_latency, self._deliver_next)
+
+    def _deliver_next(self) -> None:
+        self._draining = False
+        if not self._active or self.credits <= 0 or not self._queue:
+            return
+        item = self._queue.popleft()
+        self.credits -= 1
+        if item.__class__ is SnapshotDelivery:
+            self.snapshots_delivered += 1
+            self.client.on_delivery(self, item)
+        else:
+            update = item[0]
+            if self._cells.get(update.key) is item:
+                del self._cells[update.key]
+            self.delivered += 1
+            if self.tracer is not None:
+                self.tracer.record(
+                    hops.EDGE_DELIVER, self.name,
+                    key=update.key, version=update.version, session=self.name,
+                )
+            self.client.on_delivery(self, update)
+        self._kick()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+
+    @property
+    def active(self) -> bool:
+        return self._active
+
+    def close(self, reason: str = "closed") -> None:
+        """End the session; queued updates return to the cursor.
+
+        The client's durable cursor has only advanced past *delivered*
+        items, so everything still queued will be re-served by reconnect
+        catch-up — closed sessions lose nothing.
+        """
+        if not self._active:
+            return
+        self._active = False
+        self.close_reason = reason
+        returned = self.queued_updates
+        self.returned_to_cursor += returned
+        self._queue.clear()
+        self._cells.clear()
+        if self.tracer is not None:
+            self.tracer.record(
+                hops.EDGE_DISCONNECT, self.name,
+                session=self.name, reason=reason, returned=returned,
+            )
+        if self._on_closed is not None:
+            self._on_closed(self, reason)  # frontend bookkeeping first
+        self.client.on_session_closed(self, reason)
+
+    # ------------------------------------------------------------------
+    # accounting
+
+    @property
+    def queued_updates(self) -> int:
+        """Updates queued but not yet delivered (snapshots excluded)."""
+        queue = self._queue
+        return sum(1 for item in queue if item.__class__ is not SnapshotDelivery)
+
+    @property
+    def backlog(self) -> int:
+        return len(self._queue)
+
+    @property
+    def attributed(self) -> int:
+        """Updates accounted for by some outcome bucket.
+
+        Conservation invariant: equals :attr:`offered` at all times —
+        the basis of E11's 100%-attribution acceptance bar.
+        """
+        return (
+            self.delivered
+            + self.coalesced
+            + self.dropped
+            + self.returned_to_cursor
+            + self.queued_updates
+        )

@@ -40,7 +40,9 @@ SEND_RECV_PAIRS: Dict[str, str] = {
 }
 
 #: hops that mark an update reaching a consumer's materialized state.
-TERMINAL_HOPS: Tuple[str, ...] = (hops.CACHE_APPLY, hops.WATCH_APPLY)
+TERMINAL_HOPS: Tuple[str, ...] = (
+    hops.CACHE_APPLY, hops.WATCH_APPLY, hops.EDGE_DELIVER,
+)
 
 #: net.drop cause -> human-readable provenance label.
 _DROP_CAUSES = {
@@ -203,6 +205,16 @@ class TraceIndex:
         records: List[LossRecord] = []
         for (key, version), events in self._chains.items():
             present = {e.hop for e in events}
+            # edge-tier sheds: a bounded-buffer-drop session discarded
+            # the update for one client (other clients may still have
+            # received it — the record is per shed, not per update)
+            for event in events:
+                if event.hop == hops.EDGE_DROP:
+                    records.append(LossRecord(
+                        key=key, version=version, last_hop=hops.EDGE_DROP,
+                        cause="dropped at edge",
+                        at=str(event.attrs.get("session")),
+                    ))
             for send_hop, recv_hop in SEND_RECV_PAIRS.items():
                 if send_hop not in present or recv_hop in present:
                     continue
@@ -260,6 +272,26 @@ class TraceIndex:
             if not record.cause.startswith("unattributed"):
                 attributed += 1
         return lost, attributed
+
+    def edge_summary(self) -> Dict[str, int]:
+        """Edge-tier event counts at per-(session, update) granularity.
+
+        ``delivered`` / ``coalesced`` / ``dropped`` count the edge hops
+        across all chains, so the lost-vs-coalesced split the trace
+        claims can be checked against the sessions' own accounting.
+        """
+        counts = {"delivered": 0, "coalesced": 0, "dropped": 0}
+        hop_key = {
+            hops.EDGE_DELIVER: "delivered",
+            hops.EDGE_COALESCE: "coalesced",
+            hops.EDGE_DROP: "dropped",
+        }
+        for events in self._chains.values():
+            for event in events:
+                name = hop_key.get(event.hop)
+                if name is not None:
+                    counts[name] += 1
+        return counts
 
     def provenance_counts(self) -> Dict[Tuple[str, str], int]:
         """{(last_hop, cause): lost-update count}, for summary tables."""

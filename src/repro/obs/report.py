@@ -61,7 +61,7 @@ def trace_summary_row(index: TraceIndex) -> dict:
     """Compact per-config summary used by the E3/E10 trace tables."""
     registry = index.hop_latencies(MetricsRegistry())
     total: Optional[Histogram] = None
-    for terminal in (hops.CACHE_APPLY, hops.WATCH_APPLY):
+    for terminal in (hops.CACHE_APPLY, hops.WATCH_APPLY, hops.EDGE_DELIVER):
         histogram = registry.get(f"obs.hop.total.{terminal}")
         if isinstance(histogram, Histogram) and histogram.count:
             total = histogram

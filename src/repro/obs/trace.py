@@ -57,9 +57,16 @@ class hops:
     WATCH_RESYNC = "watch.resync"
     RELAY_SHIP = "relay.ship"
     RELAY_INGEST = "relay.ingest"
+    # edge delivery tier (frontend <-> client sessions)
+    EDGE_CONNECT = "edge.connect"      # session established (delta/snapshot)
+    EDGE_SNAPSHOT = "edge.snapshot"    # snapshot re-served from the edge
+    EDGE_COALESCE = "edge.coalesce"    # update superseded by a newer one
+    EDGE_DROP = "edge.drop"            # update shed by bounded-buffer-drop
+    EDGE_DISCONNECT = "edge.disconnect"
     # terminals
     CACHE_APPLY = "cache.apply"        # pubsub invalidation applied
     WATCH_APPLY = "watch.apply"        # linked-cache apply
+    EDGE_DELIVER = "edge.deliver"      # update handed to an edge client
     # work-queue task lifecycle
     TASK_ENQUEUE = "task.enqueue"
     TASK_COMPLETE = "task.complete"

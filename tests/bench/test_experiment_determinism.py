@@ -2,7 +2,12 @@
 
 import pytest
 
-from repro.bench.experiments import e6b_reconcile, e9_quadrants, e10_chaos_soak
+from repro.bench.experiments import (
+    e6b_reconcile,
+    e9_quadrants,
+    e10_chaos_soak,
+    e11_edge_storm,
+)
 
 
 def _rows(result):
@@ -46,6 +51,24 @@ def test_e10_trace_jsonl_is_byte_identical():
         jsonl = first[config_name].to_jsonl()
         assert jsonl  # traced something
         assert jsonl == second[config_name].to_jsonl()
+
+
+def test_e11_replays_identically():
+    # storm timing, downtime draws, client stagger, and wire loss all
+    # come from the sim RNG: the reconnect storm must replay exactly
+    params = dict(
+        configs=("watch-disconnect", "pubsub-drop"),
+        num_frontends=2, num_clients=8, num_keys=24,
+        update_rate=15.0, duration=10.0, drain=20.0,
+        storm_at=4.0, storm_window=1.0, downtime_mean=1.5, seed=23,
+    )
+    first = e11_edge_storm.run(**params)
+    second = e11_edge_storm.run(**params)
+    assert _rows(first) == _rows(second)
+    for config_name, tracer in first.artifacts["tracers"].items():
+        assert tracer.to_jsonl() == (
+            second.artifacts["tracers"][config_name].to_jsonl()
+        )
 
 
 def test_seed_changes_outcomes():

@@ -17,6 +17,7 @@ from repro.bench.experiments import (
     e8_efficiency,
     e9_quadrants,
     e10_chaos_soak,
+    e11_edge_storm,
 )
 
 
@@ -108,3 +109,23 @@ def test_e10_smoke():
     assert reliable["retransmits"] > 0
     assert reliable["lost_updates"] == 0 and reliable["final_stale"] == 0
     assert fireforget["lost_updates"] > 0
+
+
+def test_e11_smoke():
+    result = e11_edge_storm.run(
+        configs=("watch-coalesce", "pubsub-drop"),
+        num_frontends=2, num_clients=8, num_keys=24,
+        update_rate=40.0, duration=10.0, drain=30.0,
+        storm_at=4.0, storm_window=1.0, downtime_mean=1.5,
+    )
+    provenance = result.table("delivery provenance")
+    watch = provenance.row_by("config", "watch-coalesce")
+    pubsub = provenance.row_by("config", "pubsub-drop")
+    # conservation holds in both pipelines, but only pubsub sheds
+    assert watch["attributed_pct"] == 100.0
+    assert pubsub["attributed_pct"] == 100.0
+    assert watch["dropped_edge"] == 0 and watch["final_stale"] == 0
+    assert pubsub["dropped_edge"] > 0
+    trace = result.table("trace summary")
+    pubsub_trace = trace.row_by("config", "pubsub-drop")
+    assert pubsub_trace["drop_provenance"] == pubsub["dropped_edge"]

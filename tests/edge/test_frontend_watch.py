@@ -1,0 +1,178 @@
+"""WatchEdgeFrontend: reconnect decision rule, edge-served catch-up."""
+
+import pytest
+
+from repro._types import KeyRange
+from repro.core.bridge import DirectIngestBridge
+from repro.core.watch_system import WatchSystem, WatchSystemConfig
+from repro.edge.client import EdgeClient
+from repro.edge.frontend import EdgeFrontendConfig, WatchEdgeFrontend
+from repro.edge.session import SessionConfig, SlowConsumerPolicy
+from repro.obs.trace import Tracer, hops
+from repro.sim.kernel import Simulation
+from repro.sim.network import Network, NetworkConfig
+from repro.storage.kv import MVCCStore
+
+
+class StaticPlacement:
+    """Routes every client to one fixed frontend."""
+
+    def __init__(self, frontend):
+        self.frontend = frontend
+
+    def frontend_for(self, client_name):
+        return self.frontend
+
+
+def build(sim, tracer=None, net=None, **config_kwargs):
+    store = MVCCStore(clock=sim.now)
+    source = WatchSystem(sim, name="source", tracer=tracer)
+    DirectIngestBridge(sim, store.history, source, latency=0.001,
+                       progress_interval=0.2)
+
+    def store_snapshot(kr):
+        version = store.last_version
+        return version, dict(store.scan(kr, version))
+
+    frontend = WatchEdgeFrontend(
+        sim, "fe0", source, store_snapshot, net=net, tracer=tracer,
+        config=EdgeFrontendConfig(**config_kwargs),
+    )
+    return store, frontend
+
+
+def write(store, n, keys=10, start=0):
+    for i in range(start, start + n):
+        store.put(f"k{i % keys:03d}", {"v": i})
+
+
+def latest(store, keys=10):
+    version = store.last_version
+    return dict(store.scan(KeyRange.all(), version))
+
+
+def test_fresh_client_converges_to_store(sim):
+    store, frontend = build(sim)
+    client = EdgeClient(sim, "c0", StaticPlacement(frontend))
+    client.connect()
+    sim.run(until=1.0)
+    write(store, 100)
+    sim.run(until=5.0)
+    assert client.state == latest(store)
+    assert client.session.attributed == client.session.offered
+
+
+def test_reconnect_close_behind_uses_delta_catchup(sim):
+    store, frontend = build(sim, catchup_threshold=100)
+    client = EdgeClient(sim, "c0", StaticPlacement(frontend), reconnect_delay=0.2)
+    client.connect()
+    sim.run(until=1.0)
+    write(store, 50)
+    sim.run(until=3.0)
+    client.disconnect()
+    write(store, 30, start=50)  # 30 versions behind < threshold
+    sim.run(until=6.0)
+    assert client.connects == 2
+    assert frontend.catchups_served == 2  # initial connect + reconnect
+    assert frontend.snapshots_served == 0
+    assert client.staleness_at_connect[1] == 30
+    assert client.state == latest(store)
+
+
+def test_reconnect_far_behind_gets_edge_snapshot(sim):
+    tracer = Tracer(sim)
+    store, frontend = build(sim, tracer=tracer, catchup_threshold=20)
+    client = EdgeClient(sim, "c0", StaticPlacement(frontend), reconnect_delay=0.2)
+    client.connect()
+    sim.run(until=1.0)
+    write(store, 50)
+    sim.run(until=3.0)
+    client.disconnect()
+    write(store, 100, start=50)  # 100 versions behind > threshold
+    sim.run(until=6.0)
+    assert client.connects == 2
+    assert frontend.snapshots_served == 1
+    assert client.snapshots_applied == 1
+    assert client.state == latest(store)
+    # the snapshot came from the relay's edge state, not the store:
+    # the store-side snapshot_fn ran only for the relay's own sync
+    assert frontend.source_snapshots == 1
+    connects = [e for e in tracer.events() if e.hop == hops.EDGE_CONNECT]
+    assert [e.attrs["mode"] for e in connects] == ["delta", "snapshot"]
+    assert connects[1].attrs["staleness"] == 100
+
+
+def test_slow_consumer_disconnect_policy_cycles_session(sim):
+    store, frontend = build(
+        sim,
+        session=SessionConfig(
+            policy=SlowConsumerPolicy.DISCONNECT, max_queue=10,
+            initial_credits=4, delivery_latency=0.0,
+        ),
+        catchup_threshold=1_000_000,
+    )
+    client = EdgeClient(
+        sim, "c0", StaticPlacement(frontend),
+        service_time=0.05, reconnect_delay=0.1,
+    )
+    client.connect()
+    sim.run(until=0.5)
+    # 200 updates in one burst overwhelm a 10-deep queue
+    write(store, 200)
+    sim.run(until=30.0)
+    assert client.disconnects >= 1
+    # nothing was lost: the cursor re-served everything still pending
+    assert client.state == latest(store)
+    totals = client.finalize()
+    assert totals["dropped"] == 0
+    assert totals["offered"] == sum(
+        totals[k] for k in ("delivered", "coalesced", "dropped", "returned", "queued")
+    )
+
+
+def test_fanout_wipe_resyncs_feed_via_snapshot(sim):
+    store, frontend = build(sim, catchup_threshold=1_000_000)
+    client = EdgeClient(sim, "c0", StaticPlacement(frontend))
+    client.connect()
+    sim.run(until=1.0)
+    write(store, 40)
+    sim.run(until=3.0)
+    # edge soft-state loss: wiping the relay's fan-out resyncs every
+    # session feed; the frontend recovers them from its own snapshot
+    frontend.relay.fanout.wipe()
+    write(store, 20, start=40)
+    sim.run(until=8.0)
+    assert frontend.feed_resyncs == 1
+    assert frontend.snapshots_served == 1
+    assert client.state == latest(store)
+
+
+def test_frontend_over_lossy_network_converges(sim):
+    net = Network(sim, NetworkConfig(base_latency=0.002, jitter=0.001,
+                                     loss_rate=0.05))
+    store, frontend = build(sim, net=net)
+    client = EdgeClient(sim, "c0", StaticPlacement(frontend))
+    client.connect()
+    sim.run(until=1.0)
+    write(store, 150)
+    sim.run(until=20.0)
+    assert frontend.link.events_shipped >= 150
+    assert client.state == latest(store)
+
+
+def test_crash_drops_sessions_and_rejects_connects(sim):
+    store, frontend = build(sim)
+    client = EdgeClient(sim, "c0", StaticPlacement(frontend), reconnect_delay=0.3)
+    client.connect()
+    sim.run(until=1.0)
+    frontend.crash()
+    assert client.session is None
+    assert frontend.active_sessions == 0
+    # auto-reconnect keeps retrying while the frontend is down
+    sim.run(until=2.0)
+    assert client.rejected_connects >= 1
+    frontend.recover()
+    write(store, 30)
+    sim.run(until=10.0)
+    assert client.session is not None
+    assert client.state == latest(store)
