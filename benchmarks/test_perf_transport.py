@@ -1,0 +1,116 @@
+"""Transport batching micro-benchmarks: CDC → applier throughput.
+
+The tentpole perf claim: threading group frames through the pipeline
+(CDC group-commit → batch publish → grouped delivery → group apply)
+cuts the per-record kernel/event overhead enough that the same
+high-rate replication workload runs at least twice as fast in wall
+time.  Correctness is asserted on every run — the replica must
+converge to the source — so the suite doubles as a smoke test under
+``--benchmark-disable``.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+
+from repro.cdc.publisher import CdcPublisher
+from repro.pubsub.broker import Broker, RemotePublisher
+from repro.replication.appliers import PartitionSerialApplier
+from repro.replication.target import ReplicaStore
+from repro.resilience.channel import ChannelConfig
+from repro.sim.kernel import Simulation, Timeout
+from repro.sim.network import Network, NetworkConfig
+from repro.storage.kv import MVCCStore, Mutation
+from repro.transport import BatchConfig
+
+COMMITS = 2_000
+TXN_SIZE = 4
+BURST = 16
+KEYS = [f"k{i:03d}" for i in range(128)]
+
+
+def _run_pipeline(batched: bool) -> None:
+    """Drive COMMITS multi-key transactions through CDC → broker →
+    applier and assert the replica converged to the source.
+
+    Partition-serial apply (PARTITION routing) keeps consecutive
+    deliveries on one member, so grouped delivery actually fills its
+    frames; commits arrive in bursts so a backlog exists to group.
+    Both wire hops cross the simulated network: unbatched, every
+    record is its own reliable-channel send on the publish side and
+    again on the apply side (frame + ack + retransmit timer each);
+    batched, a commit's records ride one publish command, commands
+    group into channel frames, and a whole delivery group ships as
+    one ``apply_many`` frame."""
+    sim = Simulation(seed=7)
+    store = MVCCStore(clock=sim.now)
+    broker = Broker(sim)
+    broker.create_topic("cdc", num_partitions=4)
+    net = Network(sim, NetworkConfig(base_latency=0.001))
+    channel_cfg = ChannelConfig(
+        batch=BatchConfig(max_batch=16, max_linger=0.001) if batched else None
+    )
+    broker.attach_network(net, endpoint="cdc-broker", config=channel_cfg)
+    remote = RemotePublisher(
+        sim, net, "cdc-pub", broker_endpoint="cdc-broker",
+        config=channel_cfg, metrics=broker.metrics,
+    )
+    CdcPublisher(
+        sim, store.history, broker, "cdc",
+        publish_latency=0.0005, publish_fn=remote.publish,
+        group_commit=batched, publish_batch_fn=remote.publish_batch,
+    )
+    target = ReplicaStore(sim)
+    applier = PartitionSerialApplier(
+        sim, broker, "cdc", target, service_time=0.0, network=net,
+        delivery_batch=64 if batched else 1,
+    )
+
+    def writer():
+        n = 0
+        idx = 0
+        for commit in range(COMMITS):
+            writes = {
+                KEYS[(idx + j) % len(KEYS)]: Mutation.put(n + j)
+                for j in range(TXN_SIZE)
+            }
+            idx = (idx + TXN_SIZE) % len(KEYS)
+            store.commit(writes)
+            n += TXN_SIZE
+            if commit % BURST == BURST - 1:
+                yield Timeout(0.001)
+
+    sim.spawn(writer(), name="writer")
+    sim.run(until=60.0)
+    assert applier.records_seen == COMMITS * TXN_SIZE
+    for key in KEYS:
+        assert target.get(key) == store.get(key), key
+
+
+def test_cdc_applier_unbatched(benchmark):
+    """8k records, one publish/delivery/apply per record."""
+    benchmark(_run_pipeline, False)
+
+
+def test_cdc_applier_batched(benchmark):
+    """8k records in group frames end to end."""
+    benchmark(_run_pipeline, True)
+
+
+def test_batched_speedup_at_least_2x():
+    """The acceptance bar: batched median wall time ≥2x faster."""
+    def median_wall(batched: bool) -> float:
+        samples = []
+        for _ in range(3):
+            start = time.perf_counter()
+            _run_pipeline(batched)
+            samples.append(time.perf_counter() - start)
+        return statistics.median(samples)
+
+    unbatched = median_wall(False)
+    batched = median_wall(True)
+    speedup = unbatched / batched
+    print(f"\nunbatched={unbatched:.3f}s batched={batched:.3f}s "
+          f"speedup={speedup:.2f}x")
+    assert speedup >= 2.0, f"batched speedup only {speedup:.2f}x"

@@ -23,6 +23,7 @@ _MODULES: Dict[str, str] = {
     "E9": "repro.bench.experiments.e9_quadrants",
     "E10": "repro.bench.experiments.e10_chaos_soak",
     "E11": "repro.bench.experiments.e11_edge_storm",
+    "E12": "repro.bench.experiments.e12_batching",
     # ablations of the proposed model's design choices
     "A1": "repro.bench.experiments.a1_fanout_tree",
     "A2": "repro.bench.experiments.a2_soft_state_budget",

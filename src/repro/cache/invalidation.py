@@ -55,13 +55,15 @@ def _networked_cdc(
     network: Network,
     resilience: Optional[ChannelConfig],
     tracer=None,
+    group_commit: bool = False,
 ) -> tuple:
     """Build the CDC→broker path across the simulated network.
 
     The broker gets a network endpoint (``<topic>-broker``) and the CDC
     publisher publishes through a :class:`RemotePublisher` instead of a
     direct call — the §3.1 cross-DC hop where loss and partitions can
-    silently eat invalidations unless the channel config retries.
+    silently eat invalidations unless the channel config retries.  With
+    ``group_commit`` each transaction's records ship as one frame.
     """
     broker.attach_network(network, endpoint=f"{topic}-broker", config=resilience)
     remote = RemotePublisher(
@@ -71,6 +73,7 @@ def _networked_cdc(
     publisher = CdcPublisher(
         sim, store.history, broker, topic, publish_fn=remote.publish,
         tracer=tracer,
+        group_commit=group_commit, publish_batch_fn=remote.publish_batch,
     )
     return publisher, remote
 
@@ -151,6 +154,20 @@ class PubsubCacheNode(CacheNode):
         self.invalidations_nacked += 1
         return False
 
+    def handle_invalidation_batch(self, messages: List[Message]) -> bool:
+        """Group-apply a batched delivery in one invocation.
+
+        Only meaningful in ``NAIVE`` mode, where every message is
+        applied-and-acked unconditionally; the owner-gated modes need a
+        per-message ack/nack verdict that a single group ack cannot
+        express (the pipeline enforces this at construction).
+        """
+        for message in messages:
+            self.invalidation_messages_seen += 1
+            self.apply_invalidation(message.key, message.payload["version"])
+            self.invalidations_acked += 1
+        return True
+
 
 class PubsubInvalidationPipeline:
     """Wires store -> CDC -> topic -> consumer group of cache nodes."""
@@ -170,12 +187,26 @@ class PubsubInvalidationPipeline:
         network: Optional[Network] = None,
         resilience: Optional[ChannelConfig] = None,
         tracer=None,
+        delivery_batch: int = 1,
+        batch_overhead: float = 0.0,
+        group_commit: bool = False,
+        service_time: float = 0.0005,
     ) -> None:
         self.sim = sim
         self.store = store
         self.broker = broker
         self.nodes = nodes
         self.topic = topic
+        if delivery_batch > 1 and any(
+            node.mode is not InvalidationMode.NAIVE for node in nodes
+        ):
+            # OWNER_ACK/LEASE decide ack vs nack per message; a group
+            # delivery has one shared verdict, so batching would ack
+            # invalidations a non-owner should have bounced
+            raise ValueError("delivery_batch > 1 requires NAIVE mode nodes")
+        self._delivery_batch = delivery_batch
+        self._batch_overhead = batch_overhead
+        self._service_time = service_time
         if routing is None:
             # OWNER_ACK/LEASE rely on rerouting after a nack, so they
             # need RANDOM; NAIVE uses pubsub's own key affinity.
@@ -188,16 +219,22 @@ class PubsubInvalidationPipeline:
         self.remote_publisher: Optional[RemotePublisher] = None
         if network is not None:
             self.publisher, self.remote_publisher = _networked_cdc(
-                sim, store, broker, topic, network, resilience, tracer=tracer
+                sim, store, broker, topic, network, resilience, tracer=tracer,
+                group_commit=group_commit,
             )
         else:
             self.publisher = CdcPublisher(
-                sim, store.history, broker, topic, tracer=tracer
+                sim, store.history, broker, topic, tracer=tracer,
+                group_commit=group_commit,
             )
         self.group = broker.consumer_group(
             topic,
             f"{topic}-caches",
-            SubscriptionConfig(routing=routing, ack_timeout=ack_timeout),
+            SubscriptionConfig(
+                routing=routing,
+                ack_timeout=ack_timeout,
+                max_delivery_batch=delivery_batch,
+            ),
         )
         self._consumers: Dict[str, Consumer] = {}
         for node in nodes:
@@ -216,7 +253,9 @@ class PubsubInvalidationPipeline:
             self.sim,
             node.name,
             handler=node.handle_invalidation_message,
-            service_time=0.0005,
+            batch_handler=node.handle_invalidation_batch,
+            service_time=self._service_time,
+            batch_overhead=self._batch_overhead,
         )
         self._consumers[node.name] = consumer
         self.group.join(consumer)
@@ -245,11 +284,17 @@ class PubsubInvalidationPipeline:
         network: Optional[Network] = None,
         resilience: Optional[ChannelConfig] = None,
         tracer=None,
+        delivery_batch: int = 1,
+        batch_overhead: float = 0.0,
+        group_commit: bool = False,
+        service_time: float = 0.0005,
     ) -> "FreeInvalidationPipeline":
         """Build the free-consumer variant instead (§3.2.2 fallback)."""
         return FreeInvalidationPipeline(
             sim, store, broker, sharder, nodes, topic,
             network=network, resilience=resilience, tracer=tracer,
+            delivery_batch=delivery_batch, batch_overhead=batch_overhead,
+            group_commit=group_commit, service_time=service_time,
         )
 
 
@@ -272,6 +317,10 @@ class FreeInvalidationPipeline:
         network: Optional[Network] = None,
         resilience: Optional[ChannelConfig] = None,
         tracer=None,
+        delivery_batch: int = 1,
+        batch_overhead: float = 0.0,
+        group_commit: bool = False,
+        service_time: float = 0.0005,
     ) -> None:
         self.sim = sim
         self.nodes = nodes
@@ -279,11 +328,13 @@ class FreeInvalidationPipeline:
         self.remote_publisher: Optional[RemotePublisher] = None
         if network is not None:
             self.publisher, self.remote_publisher = _networked_cdc(
-                sim, store, broker, topic, network, resilience, tracer=tracer
+                sim, store, broker, topic, network, resilience, tracer=tracer,
+                group_commit=group_commit,
             )
         else:
             self.publisher = CdcPublisher(
-                sim, store.history, broker, topic, tracer=tracer
+                sim, store.history, broker, topic, tracer=tracer,
+                group_commit=group_commit,
             )
         self._consumers: List[Consumer] = []
         for node in nodes:
@@ -292,7 +343,30 @@ class FreeInvalidationPipeline:
                 node.apply_invalidation(message.key, message.payload["version"])
                 return True
 
-            consumer = Consumer(sim, f"free-{node.name}", handler=handler, service_time=0.0005)
+            def batch_handler(
+                messages: List[Message], node: PubsubCacheNode = node
+            ) -> bool:
+                # free fanout applies unconditionally, so the whole
+                # group lands in one invocation (bulk accounting)
+                node.invalidation_messages_seen += len(messages)
+                for message in messages:
+                    node.apply_invalidation(
+                        message.key, message.payload["version"]
+                    )
+                return True
+
+            consumer = Consumer(
+                sim, f"free-{node.name}", handler=handler,
+                batch_handler=batch_handler, service_time=service_time,
+                batch_overhead=batch_overhead,
+            )
             self._consumers.append(consumer)
-            broker.free_consumer(topic, consumer)
+            broker.free_consumer(
+                topic,
+                consumer,
+                SubscriptionConfig(
+                    routing=RoutingPolicy.RANDOM,
+                    max_delivery_batch=delivery_batch,
+                ),
+            )
             sharder.subscribe(node.on_assignment)

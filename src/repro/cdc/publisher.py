@@ -9,7 +9,7 @@ want; the delivery problems downstream are pubsub's, not the data's.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Optional
+from typing import Any, Callable, List, Optional, Tuple
 
 from repro.cdc.capture import CdcCapture, ChangeRecord
 from repro.obs.trace import hops
@@ -21,6 +21,11 @@ from repro.storage.history import ChangeHistory
 #: broker call; a networked pipeline passes RemotePublisher.publish so
 #: the CDC→broker hop crosses the (lossy) simulated network instead.
 PublishFn = Callable[[str, Optional[str], Any], Any]
+
+#: Publishes one commit's record group: (topic, [(key, payload), ...]).
+#: Defaults to ``broker.publish_batch``; a networked pipeline passes
+#: ``RemotePublisher.publish_batch`` so the whole group rides one frame.
+PublishBatchFn = Callable[[str, List[Tuple[Optional[str], Any]]], Any]
 
 
 class CdcPublisher:
@@ -35,22 +40,38 @@ class CdcPublisher:
         publish_latency: float = 0.001,
         publish_fn: Optional[PublishFn] = None,
         tracer=None,
+        group_commit: bool = False,
+        publish_batch_fn: Optional[PublishBatchFn] = None,
     ) -> None:
         if publish_latency < 0:
             raise ValueError("publish_latency must be >= 0")
-        if broker is None and publish_fn is None:
+        if broker is None and publish_fn is None and publish_batch_fn is None:
             raise ValueError("need a broker or an explicit publish_fn")
+        if group_commit and broker is None and publish_batch_fn is None:
+            raise ValueError("group_commit needs a broker or publish_batch_fn")
         self.sim = sim
         self.broker = broker
         self.topic = topic
         self.publish_latency = publish_latency
         self.tracer = tracer
+        #: group-commit mode: buffer a transaction's records and publish
+        #: them as ONE group (one latency, one frame) when the commit's
+        #: last record arrives, instead of one publish per record
+        self.group_commit = group_commit
         if publish_fn is not None:
             self._publish = publish_fn
-        else:
-            assert broker is not None
+        elif broker is not None:
             self._publish = broker.publish
+        else:
+            self._publish = None
+        if publish_batch_fn is not None:
+            self._publish_batch = publish_batch_fn
+        elif broker is not None:
+            self._publish_batch = broker.publish_batch
+        else:
+            self._publish_batch = None
         self.published = 0
+        self._txn_buffer: List[Tuple[Optional[str], Any, int]] = []
         self._capture = CdcCapture(history, self._on_record, tracer=tracer)
 
     def close(self) -> None:
@@ -65,6 +86,14 @@ class CdcPublisher:
             "txn_size": record.txn_size,
         }
         self.published += 1
+        if self.group_commit:
+            # CdcCapture emits a commit's records synchronously in txn
+            # order, so buffering until the last index regroups exactly
+            # one transaction — never records of two interleaved commits
+            self._txn_buffer.append((record.key, payload, record.txn_version))
+            if record.txn_index == record.txn_size - 1:
+                self._flush_txn()
+            return
 
         def publish() -> None:
             if self.tracer is not None:
@@ -74,6 +103,26 @@ class CdcPublisher:
                     topic=self.topic,
                 )
             self._publish(self.topic, record.key, payload)
+
+        if self.publish_latency > 0:
+            self.sim.call_after(self.publish_latency, publish)
+        else:
+            publish()
+
+    def _flush_txn(self) -> None:
+        buffered = self._txn_buffer
+        self._txn_buffer = []
+        records = [(key, payload) for key, payload, _ in buffered]
+
+        def publish() -> None:
+            if self.tracer is not None:
+                for key, _payload, version in buffered:
+                    self.tracer.record(
+                        hops.CDC_PUBLISH, "cdc",
+                        key=key, version=version,
+                        topic=self.topic, n_events=len(buffered),
+                    )
+            self._publish_batch(self.topic, records)
 
         if self.publish_latency > 0:
             self.sim.call_after(self.publish_latency, publish)

@@ -57,6 +57,7 @@ from repro.resilience.channel import ChannelConfig, ReliableChannel
 from repro.sim.kernel import Simulation
 from repro.sim.metrics import MetricsRegistry
 from repro.sim.network import Network
+from repro.transport.batcher import BatchConfig
 
 #: the relay->session pipe: instant, unbounded — backpressure is the
 #: session queue's job, never the relay-side watcher queue's
@@ -82,6 +83,11 @@ class EdgeFrontendConfig:
     #: between batches (models a fetch round-trip to the broker log).
     replay_batch: int = 64
     replay_latency: float = 0.002
+    #: When set, each session's relay feed coalesces events under this
+    #: flush policy and offers them via ``ClientSession.offer_batch`` —
+    #: one drain kick per frame instead of per update.  None (default)
+    #: keeps the per-event offer path unchanged.
+    feed_batch: Optional[BatchConfig] = None
 
     def __post_init__(self) -> None:
         if self.catchup_threshold < 0:
@@ -91,22 +97,50 @@ class EdgeFrontendConfig:
 
 
 class _SessionFeed(WatchCallback):
-    """Adapter: one relay watch feeding one client session."""
+    """Adapter: one relay watch feeding one client session.
 
-    __slots__ = ("frontend", "session")
+    With ``config.feed_batch`` set, events buffer per session and flush
+    as one ``offer_batch`` frame (on size or sim-clock linger).
+    """
+
+    __slots__ = ("frontend", "session", "_buffer", "_gen")
 
     def __init__(self, frontend: "WatchEdgeFrontend", session: ClientSession):
         self.frontend = frontend
         self.session = session
+        self._buffer: list = []
+        self._gen = 0
 
     def on_event(self, event) -> None:
         mutation = event.mutation
-        self.session.offer(Update(
+        update = Update(
             key=event.key,
             version=event.version,
             value=mutation.value,
             is_delete=mutation.is_delete,
-        ))
+        )
+        batch = self.frontend.config.feed_batch
+        if batch is None:
+            self.session.offer(update)
+            return
+        self._buffer.append(update)
+        if len(self._buffer) == 1:
+            gen = self._gen
+            self.frontend.sim.post(
+                batch.max_linger, lambda: self._linger_flush(gen)
+            )
+        if len(self._buffer) >= batch.max_batch:
+            self._flush()
+
+    def _linger_flush(self, gen: int) -> None:
+        if self._buffer and self._gen == gen:
+            self._flush()
+
+    def _flush(self) -> None:
+        updates = self._buffer
+        self._buffer = []
+        self._gen += 1
+        self.session.offer_batch(updates)
 
     def on_progress(self, event) -> None:
         pass  # sessions deliver values, not knowledge windows

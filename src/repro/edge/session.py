@@ -151,6 +151,28 @@ class ClientSession:
         """Enqueue one update, applying the slow-consumer policy."""
         if not self._active:
             return
+        if self._offer_inner(update):
+            self._kick()
+
+    def offer_batch(self, updates: List[Update]) -> None:
+        """Enqueue a frame of updates with ONE delivery kick.
+
+        Per-update policy handling and conservation accounting are
+        identical to N :meth:`offer` calls; only the drain scheduling
+        is shared, so a frame costs one kernel event instead of one
+        per update.
+        """
+        kick = False
+        for update in updates:
+            if not self._active:
+                return
+            if self._offer_inner(update):
+                kick = True
+        if kick:
+            self._kick()
+
+    def _offer_inner(self, update: Update) -> bool:
+        """Apply policy and queue one update; True if a kick is due."""
         self.offered += 1
         queue = self._queue
         if self._policy is SlowConsumerPolicy.COALESCE:
@@ -165,14 +187,14 @@ class ClientSession:
                         key=superseded.key, version=superseded.version,
                         session=self.name, superseded_by=update.version,
                     )
-                return
+                return False
         if len(queue) >= self._max_queue:
             if self._policy is SlowConsumerPolicy.DISCONNECT:
                 # the triggering update was never queued; the client's
                 # cursor has not passed it, so reconnect re-serves it
                 self.returned_to_cursor += 1
                 self.close("slow-consumer")
-                return
+                return False
             self._drop_oldest()
         cell = [update]
         queue.append(cell)
@@ -180,7 +202,7 @@ class ClientSession:
             self._cells[update.key] = cell
         if len(queue) > self.peak_queue:
             self.peak_queue = len(queue)
-        self._kick()
+        return True
 
     def offer_snapshot(self, version: Version, items: Dict[Key, Any]) -> None:
         """Enqueue a full re-serve (not subject to the queue bound)."""

@@ -84,7 +84,11 @@ class Broker:
             raise PubsubError("broker already attached to a network")
 
         def handle(src: str, command: Any) -> None:
-            self.publish(command["topic"], command["key"], command["payload"])
+            records = command.get("records")
+            if records is not None:
+                self.publish_batch(command["topic"], records)
+            else:
+                self.publish(command["topic"], command["key"], command["payload"])
 
         self._channel = ReliableChannel(
             self.sim, net, endpoint, handler=handle,
@@ -155,6 +159,42 @@ class Broker:
         else:
             wake()
         return message
+
+    def publish_batch(
+        self, topic_name: str, records: List[Any]
+    ) -> List[Message]:
+        """Append a group of ``(key, payload)`` records atomically
+        adjacent and wake subscriptions **once** per touched partition.
+
+        The group-commit counterpart of :meth:`publish`: a transaction's
+        records land as consecutive offsets (per partition) with a single
+        wake instead of one publish latency + pump per record.
+        """
+        topic = self.topic(topic_name)
+        messages: List[Message] = []
+        for key, payload in records:
+            message = topic.append(key, payload)
+            messages.append(message)
+            if self.tracer is not None:
+                self.tracer.record(
+                    hops.PUBSUB_APPEND, "broker",
+                    key=key, version=payload_version(payload),
+                    topic=topic_name, partition=message.partition,
+                    offset=message.offset, n_events=len(records),
+                )
+        self.metrics.counter("pubsub.published").inc(len(messages))
+        partitions = sorted({message.partition for message in messages})
+
+        def wake() -> None:
+            for subscription in self._subscriptions[topic_name]:
+                for partition in partitions:
+                    subscription.pump(partition)
+
+        if self.config.publish_latency > 0:
+            self.sim.call_after(self.config.publish_latency, wake)
+        else:
+            wake()
+        return messages
 
     # ------------------------------------------------------------------
     # subscriptions
@@ -312,6 +352,49 @@ class RemotePublisher:
                 channel=self.channel.name, dst=self.broker_endpoint,
                 seq=seq, topic=topic,
             )
+
+    def publish_batch(self, topic: str, records: List[Any]) -> None:
+        """Ship a group of ``(key, payload)`` records as ONE publish
+        command — one channel frame, one ack, one retransmit unit.
+
+        Every record's ``publish.send`` hop carries the frame's shared
+        seq, so losing the frame attributes the loss to each record.
+        """
+        records = list(records)
+        self.published += len(records)
+
+        def delivered() -> None:
+            self.delivered += len(records)
+            if self.tracer is not None:
+                for key, payload in records:
+                    self.tracer.record(
+                        hops.PUBLISH_ACKED, self.channel.name,
+                        key=key, version=payload_version(payload), seq=seq,
+                    )
+
+        def gaveup() -> None:
+            self.lost += len(records)
+            if self.tracer is not None:
+                for key, payload in records:
+                    self.tracer.record(
+                        hops.PUBLISH_GAVEUP, self.channel.name,
+                        key=key, version=payload_version(payload), seq=seq,
+                    )
+
+        seq = self.channel.send(
+            self.broker_endpoint,
+            {"topic": topic, "records": records},
+            on_delivered=delivered,
+            on_giveup=gaveup,
+        )
+        if self.tracer is not None:
+            for key, payload in records:
+                self.tracer.record(
+                    hops.PUBLISH_SEND, self.channel.name,
+                    key=key, version=payload_version(payload),
+                    channel=self.channel.name, dst=self.broker_endpoint,
+                    seq=seq, topic=topic, n_events=len(records),
+                )
 
     # Failable protocol: a crashed publisher stops transmitting but
     # keeps its unacked frames; recovery re-kicks them.

@@ -30,6 +30,10 @@ if TYPE_CHECKING:  # pragma: no cover
 #: Handler result: True/None = success (ack); False = failure (nack).
 Handler = Callable[[Message], Optional[bool]]
 
+#: Batch handler: one invocation applies N messages (group-apply).
+#: Same result convention; False nacks the whole group.
+BatchHandler = Callable[[List[Message]], Optional[bool]]
+
 
 class Consumer:
     """One consumer application instance with a serial processing loop."""
@@ -42,16 +46,28 @@ class Consumer:
         service_time: float = 0.0,
         service_time_fn: Optional[Callable[[Message], float]] = None,
         queue_capacity: Optional[int] = None,
+        batch_handler: Optional[BatchHandler] = None,
+        batch_overhead: float = 0.0,
     ) -> None:
         if service_time < 0:
             raise ValueError("service_time must be >= 0")
+        if batch_overhead < 0:
+            raise ValueError("batch_overhead must be >= 0")
         self.sim = sim
         self.name = name
         self.handler = handler or (lambda message: True)
+        #: when set, a batched delivery is applied by ONE invocation of
+        #: this handler (group-apply); otherwise the per-message handler
+        #: runs over the group in order
+        self.batch_handler = batch_handler
         self.service_time = service_time
         #: when set, overrides ``service_time`` per message (lets work
         #: queues model heterogeneous task costs and warm/cold state)
         self.service_time_fn = service_time_fn
+        #: fixed per-delivery cost added to a batch's summed service
+        #: time — the knob that makes per-message dispatch overhead
+        #: (and therefore batching's throughput win) modelable
+        self.batch_overhead = batch_overhead
         self.queue_capacity = queue_capacity
         self.up = True
         self.processed = 0
@@ -82,29 +98,61 @@ class Consumer:
             self._busy = True
             self.sim.call_after(0.0, self._process_next)
 
+    def deliver_batch(
+        self,
+        messages: List[Message],
+        ack: Callable[[], None],
+        nack: Callable[[], None],
+    ) -> None:
+        """Receive a group delivery; processed as ONE work item.
+
+        The group occupies a single queue slot and is applied by a
+        single handler invocation (``batch_handler`` if set), paying
+        ``batch_overhead`` once plus the summed per-message service
+        time — N messages for one dispatch's fixed cost.
+        """
+        if not self.up:
+            self.dropped_while_down += len(messages)
+            return
+        if self.queue_capacity is not None and len(self._queue) >= self.queue_capacity:
+            nack()
+            return
+        self._queue.append((messages, ack, nack))
+        if not self._busy:
+            self._busy = True
+            self.sim.call_after(0.0, self._process_next)
+
     def _process_next(self) -> None:
         if not self.up or not self._queue:
             self._busy = False
             return
         message, ack, nack = self._queue.popleft()
+        is_batch = type(message) is list
 
         def finish() -> None:
             if not self.up:
                 # crashed mid-processing: no ack; broker will redeliver
                 return
             try:
-                ok = self.handler(message)
+                ok = self._handle_batch(message) if is_batch else self.handler(message)
             except Exception:
                 ok = False
+            count = len(message) if is_batch else 1
             if ok is False:
-                self.failed += 1
+                self.failed += count
                 nack()
             else:
-                self.processed += 1
+                self.processed += count
                 ack()
             self._process_next()
 
-        if self.service_time_fn is not None:
+        if is_batch:
+            if self.service_time_fn is not None:
+                delay = sum(self.service_time_fn(m) for m in message)
+            else:
+                delay = self.service_time * len(message)
+            delay += self.batch_overhead
+        elif self.service_time_fn is not None:
             delay = self.service_time_fn(message)
         else:
             delay = self.service_time
@@ -112,6 +160,14 @@ class Consumer:
             self.sim.call_after(delay, finish)
         else:
             finish()
+
+    def _handle_batch(self, messages: List[Message]) -> Optional[bool]:
+        if self.batch_handler is not None:
+            return self.batch_handler(messages)
+        for message in messages:
+            if self.handler(message) is False:
+                return False
+        return True
 
     # ------------------------------------------------------------------
     # failure model (Failable protocol)

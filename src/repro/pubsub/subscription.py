@@ -61,6 +61,12 @@ class SubscriptionConfig:
     dead_letter: Optional[DeadLetterPolicy] = None
     #: Start consuming from the current end of the topic instead of 0.
     start_at_end: bool = False
+    #: Deliver up to this many consecutive same-member messages as one
+    #: ``Consumer.deliver_batch`` call (one delivery latency, one ack
+    #: round-trip for the group).  1 (default) keeps the per-message
+    #: delivery path bit-for-bit unchanged.  Redeliveries always go
+    #: per-message: a batch that times out re-enters the single path.
+    max_delivery_batch: int = 1
 
     def __post_init__(self) -> None:
         if self.max_inflight_per_partition < 1:
@@ -69,6 +75,8 @@ class SubscriptionConfig:
             raise ValueError("ack_timeout must be positive")
         if self.delivery_latency < 0 or self.delivery_jitter < 0:
             raise ValueError("latency/jitter must be >= 0")
+        if self.max_delivery_batch < 1:
+            raise ValueError("max_delivery_batch must be >= 1")
 
 
 @dataclass
@@ -209,11 +217,14 @@ class Subscription:
             self._account_gap(state, log, log.gc_floor)
             state.fetch_offset = log.gc_floor
             return
-        for message in messages:
-            if message.offset > state.fetch_offset:
-                self._account_gap(state, log, message.offset)
-            state.fetch_offset = message.offset + 1
-            self._dispatch(partition, message, attempts=1)
+        if self.config.max_delivery_batch > 1:
+            self._pump_batched(partition, state, log, messages)
+        else:
+            for message in messages:
+                if message.offset > state.fetch_offset:
+                    self._account_gap(state, log, message.offset)
+                state.fetch_offset = message.offset + 1
+                self._dispatch(partition, message, attempts=1)
         if messages:
             # more may be waiting beyond the budget
             state_after = self._state[partition]
@@ -221,6 +232,39 @@ class Subscription:
                 state_after.inflight
             ) < self.config.max_inflight_per_partition:
                 self.pump(partition)
+
+    def _pump_batched(
+        self, partition: int, state: _PartitionState, log, messages: List[Message]
+    ) -> None:
+        """Dispatch a pump's messages as same-member groups.
+
+        Consecutive messages routed to the same member coalesce (up to
+        ``max_delivery_batch``) into one delivery; a member change or a
+        full group flushes.  Gap accounting is identical to the single
+        path.  A message nobody can take falls back to ``_dispatch``,
+        which parks it for the redelivery wheel.
+        """
+        group: List[Message] = []
+        group_member: Optional[str] = None
+        for message in messages:
+            if message.offset > state.fetch_offset:
+                self._account_gap(state, log, message.offset)
+            state.fetch_offset = message.offset + 1
+            member = self._route(message)
+            if member is None:
+                self._dispatch_group(partition, group, group_member)
+                group, group_member = [], None
+                self._dispatch(partition, message, attempts=1)
+                continue
+            if group and (
+                member != group_member
+                or len(group) >= self.config.max_delivery_batch
+            ):
+                self._dispatch_group(partition, group, group_member)
+                group = []
+            group_member = member
+            group.append(message)
+        self._dispatch_group(partition, group, group_member)
 
     def _account_gap(self, state: _PartitionState, log, next_present: int) -> None:
         """Attribute skipped offsets to GC or compaction — silently."""
@@ -277,6 +321,48 @@ class Subscription:
             ),
         )
 
+    def _dispatch_group(
+        self, partition: int, messages: List[Message], member: Optional[str]
+    ) -> None:
+        """Deliver a same-member group as one ``deliver_batch`` call.
+
+        Per-message state is unchanged — each message gets its own
+        in-flight entry and ack deadline, so a crashed consumer's
+        unacked batch redelivers message by message — but the group
+        shares one delivery latency draw and one ack round-trip.
+        """
+        if not messages:
+            return
+        assert member is not None
+        state = self._state[partition]
+        consumer = self._members[member]
+        for message in messages:
+            inflight = _Inflight(message=message, member=member, attempts=1)
+            state.inflight[message.offset] = inflight
+            self._arm_deadline(partition, inflight)
+            self.delivered += 1
+            if self.tracer is not None:
+                self.tracer.record(
+                    hops.PUBSUB_DELIVER, "broker",
+                    key=message.key, version=payload_version(message.payload),
+                    subscription=self.name, member=member,
+                    partition=partition, offset=message.offset, attempts=1,
+                    n_events=len(messages),
+                )
+        delay = self.config.delivery_latency
+        if self.config.delivery_jitter > 0:
+            delay += self.sim.rng.random() * self.config.delivery_jitter
+        batch = list(messages)
+        offsets = [message.offset for message in messages]
+        self.sim.call_after(
+            delay,
+            lambda: consumer.deliver_batch(
+                batch,
+                ack=lambda: self.ack_batch(partition, offsets),
+                nack=lambda: self.nack_batch(partition, offsets),
+            ),
+        )
+
     def _arm_deadline(self, partition: int, inflight: _Inflight) -> None:
         offset = inflight.message.offset
         inflight.deadline_handle = self.sim.call_after(
@@ -310,10 +396,14 @@ class Subscription:
 
     def ack(self, partition: int, offset: int) -> None:
         """Acknowledge one delivery; frees an in-flight slot."""
+        if self._ack_one(partition, offset):
+            self.pump(partition)
+
+    def _ack_one(self, partition: int, offset: int) -> bool:
         state = self._state[partition]
         inflight = state.inflight.pop(offset, None)
         if inflight is None:
-            return  # late ack after redelivery/dead-letter: ignore
+            return False  # late ack after redelivery/dead-letter: ignore
         if inflight.deadline_handle is not None:
             inflight.deadline_handle.cancel()
         state.acked += 1
@@ -325,7 +415,22 @@ class Subscription:
                 key=message.key, version=payload_version(message.payload),
                 subscription=self.name, partition=partition, offset=offset,
             )
-        self.pump(partition)
+        return True
+
+    def ack_batch(self, partition: int, offsets: List[int]) -> None:
+        """Acknowledge a delivered group, then pump **once** — the batch
+        counterpart of N ``ack`` calls each scheduling its own pump."""
+        any_acked = False
+        for offset in offsets:
+            any_acked |= self._ack_one(partition, offset)
+        if any_acked:
+            self.pump(partition)
+
+    def nack_batch(self, partition: int, offsets: List[int]) -> None:
+        """Negative-ack a delivered group; each message redelivers (or
+        dead-letters) individually through the single-message path."""
+        for offset in offsets:
+            self.nack(partition, offset)
 
     def nack(self, partition: int, offset: int) -> None:
         """Negative ack: redeliver promptly instead of waiting (or

@@ -60,6 +60,8 @@ class _ApplierBase:
         ack_timeout: float = 5.0,
         network: Optional[Network] = None,
         resilience: Optional[ChannelConfig] = None,
+        delivery_batch: int = 1,
+        batch_overhead: float = 0.0,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -83,7 +85,11 @@ class _ApplierBase:
         self.group = broker.consumer_group(
             topic,
             group_name,
-            SubscriptionConfig(routing=routing, ack_timeout=ack_timeout),
+            SubscriptionConfig(
+                routing=routing,
+                ack_timeout=ack_timeout,
+                max_delivery_batch=delivery_batch,
+            ),
         )
         self.consumers: List[Consumer] = []
         for idx in range(workers):
@@ -91,13 +97,45 @@ class _ApplierBase:
                 sim,
                 f"{group_name}-w{idx}",
                 handler=self._handle,
+                batch_handler=self._handle_batch,
                 service_time=service_time,
+                batch_overhead=batch_overhead,
             )
             self.consumers.append(consumer)
             self.group.join(consumer)
 
     def _handle(self, message: Message) -> bool:  # pragma: no cover - abstract
         raise NotImplementedError
+
+    def _op_for(self, message: Message) -> Optional[Tuple[str, Tuple[Any, ...]]]:
+        """The one-shot ``(method, args)`` apply op for a message, or
+        None when the applier is stateful and has no group form."""
+        return None
+
+    def _handle_batch(self, messages: List[Message]) -> bool:
+        """Group-apply a batched delivery in ONE handler invocation.
+
+        Stateless appliers collapse the group into a single
+        ``apply_many`` — one target call locally, or one wire frame
+        remotely, instead of N.  Stateful appliers (txn regrouping)
+        fall back to their per-message handler, still paying the
+        dispatch overhead only once.
+        """
+        ops = [self._op_for(message) for message in messages]
+        if any(op is None for op in ops):
+            ok = True
+            for message in messages:
+                if self._handle(message) is False:
+                    ok = False
+            return ok
+        self.records_seen += len(ops)
+        if self._tx is None:
+            self.target.apply_many(ops)
+        else:
+            self._tx.send(
+                self._endpoint_name, {"method": "apply_many", "args": (ops,)}
+            )
+        return True
 
     def _apply_op(self, method: str, *args: Any) -> None:
         """Apply to the target: direct call, or shipped over the network."""
@@ -129,6 +167,8 @@ class SerialTxnApplier(_ApplierBase):
         service_time: float = 0.001,
         network: Optional[Network] = None,
         resilience: Optional[ChannelConfig] = None,
+        delivery_batch: int = 1,
+        batch_overhead: float = 0.0,
     ) -> None:
         if broker.topic(topic).num_partitions != 1:
             raise ValueError("SerialTxnApplier requires a 1-partition topic")
@@ -146,6 +186,8 @@ class SerialTxnApplier(_ApplierBase):
             service_time=service_time,
             network=network,
             resilience=resilience,
+            delivery_batch=delivery_batch,
+            batch_overhead=batch_overhead,
         )
         self._pending: List[Tuple[str, Mutation]] = []
         self.txns_applied = 0
@@ -177,6 +219,8 @@ class ConcurrentApplier(_ApplierBase):
         service_time: float = 0.001,
         network: Optional[Network] = None,
         resilience: Optional[ChannelConfig] = None,
+        delivery_batch: int = 1,
+        batch_overhead: float = 0.0,
     ) -> None:
         super().__init__(
             sim, broker, topic, target,
@@ -186,6 +230,8 @@ class ConcurrentApplier(_ApplierBase):
             service_time=service_time,
             network=network,
             resilience=resilience,
+            delivery_batch=delivery_batch,
+            batch_overhead=batch_overhead,
         )
 
     def _handle(self, message: Message) -> bool:
@@ -195,6 +241,12 @@ class ConcurrentApplier(_ApplierBase):
             message.payload["version"],
         )
         return True
+
+    def _op_for(self, message: Message) -> Tuple[str, Tuple[Any, ...]]:
+        return (
+            "apply_naive",
+            (message.key, _mutation_of(message), message.payload["version"]),
+        )
 
 
 class VersionCheckedApplier(_ApplierBase):
@@ -214,6 +266,8 @@ class VersionCheckedApplier(_ApplierBase):
         service_time: float = 0.001,
         network: Optional[Network] = None,
         resilience: Optional[ChannelConfig] = None,
+        delivery_batch: int = 1,
+        batch_overhead: float = 0.0,
     ) -> None:
         super().__init__(
             sim, broker, topic, target,
@@ -223,6 +277,8 @@ class VersionCheckedApplier(_ApplierBase):
             service_time=service_time,
             network=network,
             resilience=resilience,
+            delivery_batch=delivery_batch,
+            batch_overhead=batch_overhead,
         )
 
     def _handle(self, message: Message) -> bool:
@@ -232,6 +288,12 @@ class VersionCheckedApplier(_ApplierBase):
             message.payload["version"],
         )
         return True
+
+    def _op_for(self, message: Message) -> Tuple[str, Tuple[Any, ...]]:
+        return (
+            "apply_versioned",
+            (message.key, _mutation_of(message), message.payload["version"]),
+        )
 
 
 class PartitionSerialApplier(_ApplierBase):
@@ -251,6 +313,8 @@ class PartitionSerialApplier(_ApplierBase):
         service_time: float = 0.001,
         network: Optional[Network] = None,
         resilience: Optional[ChannelConfig] = None,
+        delivery_batch: int = 1,
+        batch_overhead: float = 0.0,
     ) -> None:
         partitions = broker.topic(topic).num_partitions
         super().__init__(
@@ -261,6 +325,8 @@ class PartitionSerialApplier(_ApplierBase):
             service_time=service_time,
             network=network,
             resilience=resilience,
+            delivery_batch=delivery_batch,
+            batch_overhead=batch_overhead,
         )
 
     def _handle(self, message: Message) -> bool:
@@ -273,3 +339,9 @@ class PartitionSerialApplier(_ApplierBase):
             message.payload["version"],
         )
         return True
+
+    def _op_for(self, message: Message) -> Tuple[str, Tuple[Any, ...]]:
+        return (
+            "apply_versioned",
+            (message.key, _mutation_of(message), message.payload["version"]),
+        )

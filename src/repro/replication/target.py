@@ -74,6 +74,18 @@ class ReplicaStore:
             self._versions[key] = version
         self._notify()
 
+    def apply_many(self, ops: Sequence[Tuple[str, Tuple[Any, ...]]]) -> None:
+        """Group-apply: one invocation runs a batch of apply ops.
+
+        ``ops`` is a sequence of ``(method, args)`` pairs naming one of
+        the apply disciplines above.  Semantics are identical to calling
+        each in order — per-op version checks and observer notifications
+        are preserved — but the whole group crosses the handler (or
+        wire) boundary as one unit, which is the batching win.
+        """
+        for method, args in ops:
+            getattr(self, method)(*args)
+
     def _write(self, key: Key, mutation: Mutation) -> None:
         old = self._state.get(key, _ABSENT)
         if old is not _ABSENT:

@@ -59,6 +59,7 @@ from repro.sim.metrics import MetricsRegistry
 from repro.sim.network import Network
 from repro.resilience.breaker import CircuitBreaker, CircuitBreakerConfig
 from repro.resilience.retry import RetryPolicy
+from repro.transport.batcher import BatchConfig
 
 #: Receives (src, payload) for each application payload delivered.
 Handler = Callable[[str, Any], None]
@@ -78,6 +79,13 @@ class ChannelConfig:
     ordered: bool = False
     #: Per-destination circuit breaker on consecutive ack timeouts.
     breaker: Optional[CircuitBreakerConfig] = None
+    #: When set, payloads coalesce per destination into group frames
+    #: under this flush policy: one sequence number, one ack, and one
+    #: retransmit per frame instead of per message.  ``send`` returns
+    #: the shared frame seq, so trace hops recorded against it join a
+    #: lost frame back to every coalesced message.  None (default)
+    #: keeps the unbatched per-message path bit-for-bit unchanged.
+    batch: Optional[BatchConfig] = None
 
 
 @dataclass
@@ -90,6 +98,35 @@ class _DataFrame:
 @dataclass
 class _AckFrame:
     seq: int
+
+
+@dataclass
+class _GroupPayload:
+    """N application payloads coalesced into one wire frame."""
+
+    payloads: List[Any]
+
+
+@dataclass
+class _OpenFrame:
+    """A not-yet-flushed batch: seq is assigned eagerly at open time so
+    senders can trace against the frame before it hits the wire."""
+
+    seq: int
+    group: _GroupPayload
+    delivered: List[Callable[[], None]] = field(default_factory=list)
+    giveup: List[Callable[[], None]] = field(default_factory=list)
+
+
+def _fire_all(callbacks: List[Callable[[], None]]) -> Optional[Callable[[], None]]:
+    if not callbacks:
+        return None
+
+    def fire() -> None:
+        for callback in callbacks:
+            callback()
+
+    return fire
 
 
 @dataclass
@@ -138,6 +175,7 @@ class ReliableChannel:
         net.register(name, self._on_frame)
         self._next_seq: Dict[str, int] = {}
         self._pending: Dict[Tuple[str, int], _Pending] = {}
+        self._open: Dict[str, _OpenFrame] = {}
         self._breakers: Dict[str, CircuitBreaker] = {}
         # receiver state, per sender (a durable session: survives crash)
         self._seen: Dict[str, set] = {}
@@ -161,7 +199,13 @@ class ReliableChannel:
         the retry policy) or until the policy is exhausted, at which
         point ``on_giveup`` fires.  Fire-and-forget mode transmits once
         and forgets.
+
+        With ``config.batch`` set, the payload joins the destination's
+        open group frame and the returned seq is the *frame's* — shared
+        by every payload the frame carries.
         """
+        if self.config.batch is not None:
+            return self._send_batched(dst, payload, on_delivered, on_giveup)
         seq = self._next_seq.get(dst, 0)
         self._next_seq[dst] = seq + 1
         self.metrics.counter(self._metric("sent")).inc()
@@ -191,6 +235,82 @@ class ReliableChannel:
             self._transmit(pending)
         # else: queued; recover() re-kicks every pending frame
         return seq
+
+    # ------------------------------------------------------------------
+    # batching (config.batch is not None)
+
+    def _send_batched(
+        self,
+        dst: str,
+        payload: Any,
+        on_delivered: Optional[Callable[[], None]],
+        on_giveup: Optional[Callable[[], None]],
+    ) -> int:
+        batch = self.config.batch
+        self.metrics.counter(self._metric("sent")).inc()
+        open_frame = self._open.get(dst)
+        if open_frame is None:
+            seq = self._next_seq.get(dst, 0)
+            self._next_seq[dst] = seq + 1
+            open_frame = _OpenFrame(seq=seq, group=_GroupPayload([]))
+            self._open[dst] = open_frame
+            self.sim.post(batch.max_linger, lambda: self._linger_flush(dst, seq))
+        open_frame.group.payloads.append(payload)
+        if on_delivered is not None:
+            open_frame.delivered.append(on_delivered)
+        if on_giveup is not None:
+            open_frame.giveup.append(on_giveup)
+        if len(open_frame.group.payloads) >= batch.max_batch:
+            self.flush(dst)
+        return open_frame.seq
+
+    def _linger_flush(self, dst: str, seq: int) -> None:
+        open_frame = self._open.get(dst)
+        if open_frame is not None and open_frame.seq == seq:
+            self.flush(dst)
+
+    def flush(self, dst: str) -> None:
+        """Close and ship ``dst``'s open group frame, if any."""
+        open_frame = self._open.pop(dst, None)
+        if open_frame is None:
+            return
+        group = open_frame.group
+        if not self.config.reliable:
+            if self.up:
+                self.metrics.counter(self._metric("transmits")).inc()
+                if self.tracer is not None:
+                    self.tracer.record(
+                        hops.CHANNEL_TRANSMIT, self.name,
+                        channel=self.name, dst=dst, seq=open_frame.seq,
+                        attempt=1, n_events=len(group.payloads),
+                    )
+                self.net.send(
+                    self.name, dst,
+                    _DataFrame(open_frame.seq, group, needs_ack=False),
+                )
+            elif self.tracer is not None:
+                # the whole frame dies at the crashed sender: one event
+                # attributes every coalesced message via the shared seq
+                self.tracer.record(
+                    hops.CHANNEL_SENDER_DOWN, self.name,
+                    channel=self.name, dst=dst, seq=open_frame.seq,
+                    n_events=len(group.payloads),
+                )
+            return
+        pending = _Pending(
+            dst, open_frame.seq, group, self.sim.now(),
+            on_delivered=_fire_all(open_frame.delivered),
+            on_giveup=_fire_all(open_frame.giveup),
+        )
+        self._pending[(dst, open_frame.seq)] = pending
+        if self.up:
+            self._transmit(pending)
+        # else: queued; recover() re-kicks every pending frame
+
+    def flush_all(self) -> None:
+        """Close every open group frame (e.g. at end of a commit burst)."""
+        for dst in list(self._open):
+            self.flush(dst)
 
     def _breaker_for(self, dst: str) -> Optional[CircuitBreaker]:
         if self.config.breaker is None:
@@ -230,11 +350,15 @@ class ReliableChannel:
             pending.transmitted = True
             self.metrics.counter(self._metric("transmits")).inc()
             if self.tracer is not None:
-                self.tracer.record(
-                    hops.CHANNEL_TRANSMIT, self.name,
+                attrs = dict(
                     channel=self.name, dst=pending.dst, seq=pending.seq,
                     attempt=pending.attempts,
                 )
+                if type(pending.payload) is _GroupPayload:
+                    # per-frame span carries the coalesced count so
+                    # losing this frame means losing n_events messages
+                    attrs["n_events"] = len(pending.payload.payloads)
+                self.tracer.record(hops.CHANNEL_TRANSMIT, self.name, **attrs)
             if pending.attempts > 1:
                 self.metrics.counter(self._metric("retransmits")).inc()
                 self.metrics.counter(self._metric("retransmit_bytes")).inc(
@@ -329,6 +453,16 @@ class ReliableChannel:
         self._expected[src] = expected
 
     def _deliver(self, src: str, payload: Any) -> None:
+        if type(payload) is _GroupPayload:
+            # unpack a group frame into per-message handler calls; the
+            # frame was acked/deduped/ordered as one unit above
+            self.metrics.counter(self._metric("frames_received")).inc()
+            for message in payload.payloads:
+                self._deliver_one(src, message)
+            return
+        self._deliver_one(src, payload)
+
+    def _deliver_one(self, src: str, payload: Any) -> None:
         self.metrics.counter(self._metric("received")).inc()
         if self.handler is not None:
             self.handler(src, payload)
@@ -344,6 +478,9 @@ class ReliableChannel:
         self.up = False
         if self.net.endpoint(self.name) is not None:
             self.net.set_up(self.name, False)
+        # close open batch frames: reliable ones park in _pending for
+        # recover() to re-kick; fire-and-forget ones die at the sender
+        self.flush_all()
         for pending in self._pending.values():
             if pending.timer is not None:
                 pending.timer.cancel()
@@ -364,6 +501,16 @@ class ReliableChannel:
     def pending_count(self) -> int:
         """Frames sent but not yet acked (reliable mode only)."""
         return len(self._pending)
+
+    def pending_unacked(self) -> List[Tuple[str, int]]:
+        """Sorted ``(dst, seq)`` pairs of frames awaiting an ack.
+
+        Open (unflushed) batch frames are excluded — they have not hit
+        the wire, so there is nothing for an ack to clear.  The batch-ack
+        invariant this exposes: an ack for frame seq N clears exactly
+        frame N's entry, never creeping past a lost neighbouring frame.
+        """
+        return sorted(self._pending)
 
     def _metric(self, suffix: str) -> str:
         return f"resilience.{self.name}.{suffix}"

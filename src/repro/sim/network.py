@@ -42,6 +42,28 @@ class NetworkConfig:
             raise ValueError("loss_rate must be in [0, 1)")
 
 
+def payload_message_count(payload: Any) -> int:
+    """How many application messages a wire payload carries.
+
+    Unbatched payloads count as 1.  Batched frames expose a ``payloads``
+    list — possibly wrapped in a channel data frame's ``payload`` field —
+    and count as the sum over their contents, so nested grouping (a
+    channel frame of group-commit publish commands) still counts leaf
+    messages.  A grouped publish command (a dict with a ``records``
+    list) counts its records.  Duck-typed so this layer needs no
+    imports from the transports that define frame shapes.
+    """
+    inner = getattr(payload, "payload", payload)
+    group = getattr(inner, "payloads", None)
+    if group is not None:
+        return sum(payload_message_count(item) for item in group)
+    if isinstance(inner, dict):
+        records = inner.get("records")
+        if isinstance(records, list):
+            return len(records)
+    return 1
+
+
 class Endpoint:
     """A named message receiver attached to the network."""
 
@@ -121,13 +143,13 @@ class Network:
         partition — callers model retries themselves if they need them.
         """
         self.metrics.counter("net.sent").inc()
+        self.metrics.counter("net.frames.sent").inc()
+        self.metrics.counter("net.payload.msgs").inc(payload_message_count(payload))
         if self.is_partitioned(src, dst):
-            self.metrics.counter("net.dropped.partition").inc()
-            self._trace_drop(src, dst, payload, "partition")
+            self._drop(src, dst, payload, "partition")
             return False
         if self.config.loss_rate > 0 and self.sim.rng.random() < self.config.loss_rate:
-            self.metrics.counter("net.dropped.loss").inc()
-            self._trace_drop(src, dst, payload, "loss")
+            self._drop(src, dst, payload, "loss")
             return False
         delay = self.config.base_latency
         if self.config.jitter > 0:
@@ -138,17 +160,25 @@ class Network:
     def _deliver(self, src: str, dst: str, payload: Any) -> None:
         endpoint = self._endpoints.get(dst)
         if endpoint is None or not endpoint.up:
-            self.metrics.counter("net.dropped.down").inc()
-            self._trace_drop(src, dst, payload, "down")
+            self._drop(src, dst, payload, "down")
             return
         if self.is_partitioned(src, dst):
-            self.metrics.counter("net.dropped.partition").inc()
-            self._trace_drop(src, dst, payload, "partition")
+            self._drop(src, dst, payload, "partition")
             return
         self.metrics.counter("net.delivered").inc()
         endpoint.handler(src, payload)
 
-    def _trace_drop(self, src: str, dst: str, payload: Any, cause: str) -> None:
+    def _drop(self, src: str, dst: str, payload: Any, cause: str) -> None:
+        """Account one dropped message — exactly once per drop.
+
+        Every drop path (send-time partition/loss, delivery-time
+        down/partition) funnels through here, so a message that is
+        refused at ``send`` is never re-counted at ``_deliver`` and vice
+        versa: ``send`` returns False without scheduling delivery, and a
+        scheduled message can only be dropped by the delivery-time
+        checks.
+        """
+        self.metrics.counter(f"net.dropped.{cause}").inc()
         if self.tracer is None:
             return
         self.tracer.record(

@@ -1,0 +1,40 @@
+"""Batched transport: wire-level message coalescing for every hop.
+
+Kafka's throughput edge over per-message brokers comes almost entirely
+from producer/consumer batching (Dobbelaere & Sheykh Esmaili), and
+MigratoryData reaches millions of concurrent users by coalescing
+messages into frames at the wire (Rotaru et al.).  This package is that
+lever for the whole reproduction: a :class:`BatchingSender` aggregates
+payloads per ``(src, dst)`` stream into :class:`Frame` objects under a
+:class:`BatchConfig` flush policy (max batch size, max linger time on
+the *sim* clock — a Nagle-style window), and an :class:`Unbatcher`
+restores per-message delivery on the receive side.
+
+The same :class:`BatchConfig` also drives the batching mode of
+:class:`~repro.resilience.channel.ReliableChannel` (group frames, one
+cumulative ack per frame, batch retransmit), the CDC publisher's
+group-commit, the broker's batch delivery push path, and the edge
+tier's bulk session offers — see ``docs/transport.md`` for the map.
+
+Determinism contract: batching is **off by default everywhere**; with
+it off, every code path is byte-identical to the unbatched layer it
+wraps.  With it on, all flush timing comes from the sim clock and all
+frame boundaries from deterministic counters, so batched runs replay
+exactly as well.
+"""
+
+from repro.transport.batcher import (
+    BatchConfig,
+    BatchingSender,
+    Frame,
+    Unbatcher,
+    frame_message_count,
+)
+
+__all__ = [
+    "BatchConfig",
+    "BatchingSender",
+    "Frame",
+    "Unbatcher",
+    "frame_message_count",
+]

@@ -7,6 +7,7 @@ from repro.bench.experiments import (
     e9_quadrants,
     e10_chaos_soak,
     e11_edge_storm,
+    e12_batching,
 )
 
 
@@ -69,6 +70,20 @@ def test_e11_replays_identically():
         assert tracer.to_jsonl() == (
             second.artifacts["tracers"][config_name].to_jsonl()
         )
+
+
+def test_e12_replays_identically():
+    # frame fills, linger flushes, loss draws, and batch retransmits all
+    # ride the sim clock and seeded RNG: the sweep must replay exactly
+    params = dict(
+        pipelines=("pubsub", "watch"),
+        batch_sizes=(1, 16), lingers_ms=(5.0,), fanouts=(2,),
+        base_batch=16, base_linger_ms=5.0, base_fanout=2,
+        num_keys=32, duration=5.0, drain=5.0, seed=41,
+    )
+    assert _rows(e12_batching.run(**params)) == _rows(
+        e12_batching.run(**params)
+    )
 
 
 def test_seed_changes_outcomes():

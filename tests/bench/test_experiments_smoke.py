@@ -18,6 +18,7 @@ from repro.bench.experiments import (
     e9_quadrants,
     e10_chaos_soak,
     e11_edge_storm,
+    e12_batching,
 )
 
 
@@ -129,3 +130,25 @@ def test_e11_smoke():
     trace = result.table("trace summary")
     pubsub_trace = trace.row_by("config", "pubsub-drop")
     assert pubsub_trace["drop_provenance"] == pubsub["dropped_edge"]
+
+
+def test_e12_smoke():
+    result = e12_batching.run(
+        pipelines=("pubsub",),
+        batch_sizes=(1, 16), lingers_ms=(5.0,), fanouts=(2,),
+        base_batch=16, base_linger_ms=5.0, base_fanout=2,
+        num_keys=32, duration=5.0, drain=6.0, loss_rate=0.1,
+    )
+    table = result.table("batching sweep")
+    rows = table.rows
+    unbatched = next(r for r in rows if r["batch"] == 1)
+    batched = next(
+        r for r in rows if r["batch"] == 16 and "reliable" in r["config"]
+    )
+    # frames collapse and each reliable row applies the same records
+    assert batched["frames"] < unbatched["frames"]
+    assert batched["msgs_per_frame"] > 1.0
+    assert unbatched["applied"] == batched["applied"] > 0
+    # a dropped fire-and-forget frame attributes all N records
+    fireforget = next(r for r in rows if "fireforget" in r["config"])
+    assert fireforget["wire_lost"] == fireforget["lost_attributed"] > 0

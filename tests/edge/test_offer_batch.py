@@ -1,0 +1,140 @@
+"""ClientSession.offer_batch and the frontend feed_batch path.
+
+A batched offer is N offers with one drain kick: conservation
+accounting (offered == delivered + coalesced + dropped + returned +
+queued) must be identical to the per-update path, and the end-to-end
+frontend with ``feed_batch`` set must still converge clients to the
+store.
+"""
+
+from repro._types import KeyRange
+from repro.edge.session import (
+    ClientSession,
+    SessionConfig,
+    SlowConsumerPolicy,
+    Update,
+)
+from repro.transport import BatchConfig
+
+from tests.edge.test_frontend_watch import StaticPlacement, build, latest, write
+from repro.edge.client import EdgeClient
+
+
+class RecordingClient:
+    def __init__(self, auto_grant=True):
+        self.name = "c"
+        self.delivered = []
+        self.closed = []
+        self.auto_grant = auto_grant
+
+    def on_delivery(self, session, item):
+        self.delivered.append(item)
+        if self.auto_grant:
+            session.grant()
+
+    def on_session_closed(self, session, reason):
+        self.closed.append(reason)
+
+
+def make_session(sim, client, **kwargs):
+    return ClientSession(
+        sim, "fe/c", client, KeyRange.all(), config=SessionConfig(**kwargs)
+    )
+
+
+def upd(i, key=None):
+    return Update(key=key or f"k{i:04d}", version=i, value=i)
+
+
+class TestOfferBatch:
+    def test_batch_matches_n_single_offers(self, sim):
+        client = RecordingClient()
+        session = make_session(sim, client, delivery_latency=0.001)
+        session.offer_batch([upd(i) for i in range(1, 11)])
+        sim.run()
+        assert [u.version for u in client.delivered] == list(range(1, 11))
+        assert session.offered == 10
+        assert session.delivered == 10
+        assert session.attributed == session.offered
+
+    def test_coalesce_within_one_batch(self, sim):
+        client = RecordingClient(auto_grant=False)
+        session = make_session(
+            sim, client,
+            policy=SlowConsumerPolicy.COALESCE, initial_credits=1,
+            delivery_latency=0.0,
+        )
+        # three updates to the same key in one frame: latest wins
+        session.offer_batch([upd(1, key="k"), upd(2, key="k"), upd(3, key="k")])
+        assert session.offered == 3
+        assert session.coalesced == 2
+        session.grant(10)
+        sim.run()
+        assert [u.version for u in client.delivered] == [3]
+        assert session.attributed == session.offered
+
+    def test_disconnect_mid_batch_stops_consuming(self, sim):
+        client = RecordingClient(auto_grant=False)
+        session = make_session(
+            sim, client,
+            policy=SlowConsumerPolicy.DISCONNECT, max_queue=3,
+            initial_credits=1, delivery_latency=0.0,
+        )
+        session.offer_batch([upd(i) for i in range(1, 9)])
+        sim.run()
+        # queue of 3 filled, the 4th closed the session; the remaining
+        # 4 updates of the frame were never offered (session inactive).
+        # close() returns the 3 queued updates to the cursor too: 4 total
+        assert client.closed == ["slow-consumer"]
+        assert session.offered == 4
+        assert session.returned_to_cursor == 4
+        assert session.attributed == session.offered
+
+    def test_drop_oldest_accounting_in_batch(self, sim):
+        client = RecordingClient(auto_grant=False)
+        session = make_session(
+            sim, client,
+            policy=SlowConsumerPolicy.DROP, max_queue=4,
+            initial_credits=1, delivery_latency=0.0,
+        )
+        session.offer_batch([upd(i) for i in range(1, 11)])
+        assert session.offered == 10
+        assert session.dropped == 6
+        session.grant(100)
+        sim.run()
+        # the newest 4 survive
+        assert [u.version for u in client.delivered] == [7, 8, 9, 10]
+        assert session.attributed == session.offered
+
+
+class TestFeedBatchEndToEnd:
+    def test_feed_batch_client_converges(self, sim):
+        store, frontend = build(
+            sim, feed_batch=BatchConfig(max_batch=8, max_linger=0.01)
+        )
+        client = EdgeClient(sim, "c0", StaticPlacement(frontend))
+        client.connect()
+        sim.run(until=1.0)
+        write(store, 100)
+        sim.run(until=5.0)
+        assert client.state == latest(store)
+        assert client.session.attributed == client.session.offered
+
+    def test_feed_batch_conserves_under_slow_consumer(self, sim):
+        store, frontend = build(
+            sim,
+            feed_batch=BatchConfig(max_batch=16, max_linger=0.02),
+            session=SessionConfig(
+                policy=SlowConsumerPolicy.COALESCE, max_queue=8,
+                delivery_latency=0.01,
+            ),
+        )
+        client = EdgeClient(sim, "c0", StaticPlacement(frontend))
+        client.connect()
+        sim.run(until=1.0)
+        write(store, 300, keys=5)  # heavy same-key churn → coalescing
+        sim.run(until=20.0)
+        assert client.state == latest(store, keys=5)
+        session = client.session
+        assert session.coalesced > 0
+        assert session.attributed == session.offered
