@@ -9,6 +9,9 @@ Two checks, run by CI (see ``.github/workflows/ci.yml``):
 2. ``docs/architecture.md`` mentions every package under ``src/repro``
    by its ``repro.<name>`` dotted name, so new subsystems cannot land
    without an architecture note.
+3. Every file under ``docs/`` is linked from at least one *other*
+   tracked markdown file, so a new doc cannot land orphaned (written
+   but unreachable from the README / docs index).
 
     python scripts/check_docs.py
 
@@ -84,8 +87,43 @@ def check_architecture_mentions():
     return errors
 
 
+def check_docs_reachable():
+    """Every docs/*.md is the target of a link from some other file."""
+    errors = []
+    linked = set()
+    for path in markdown_files():
+        if os.path.basename(path) in _SKIP_FILES:
+            continue
+        with open(path, encoding="utf-8") as fh:
+            text = fh.read()
+        for match in _LINK_RE.finditer(text):
+            target = match.group(1)
+            if target.startswith(("http://", "https://", "mailto:", "#")):
+                continue
+            target_path = target.split("#", 1)[0]
+            if not target_path:
+                continue
+            resolved = os.path.normpath(
+                os.path.join(os.path.dirname(path), target_path)
+            )
+            if resolved != path:  # self-links don't make a doc reachable
+                linked.add(resolved)
+    docs_dir = os.path.join(REPO_ROOT, "docs")
+    for filename in sorted(os.listdir(docs_dir)):
+        if not filename.endswith(".md"):
+            continue
+        path = os.path.join(docs_dir, filename)
+        if path not in linked:
+            errors.append(
+                f"docs/{filename}: orphaned (not linked from any other doc)"
+            )
+    return errors
+
+
 def main() -> int:
-    errors = check_links() + check_architecture_mentions()
+    errors = (
+        check_links() + check_architecture_mentions() + check_docs_reachable()
+    )
     for error in errors:
         print(error, file=sys.stderr)
     if errors:

@@ -1,23 +1,31 @@
 #!/usr/bin/env python3
-"""Render causal trace reports for the traced experiments (E3, E10).
+"""Render causal trace reports for the traced experiments (E3, E10, E13).
 
 Runs each experiment at QUICK sizing, then prints a full
 :func:`repro.obs.report.render_trace_report` per configuration:
 per-hop latency tables, loss provenance (which exact hop each lost
-update last passed, and why it died there), and wire-loss attribution
-coverage.
+update last passed, and why it died there), wire-loss attribution
+coverage, and — for runs with a reconciliation plane — the
+corruption-to-repair attribution table.
 
-    PYTHONPATH=src python scripts/trace_report.py            # both
+    PYTHONPATH=src python scripts/trace_report.py            # all
     PYTHONPATH=src python scripts/trace_report.py e10        # one
+    PYTHONPATH=src python scripts/trace_report.py --repairs  # E13 view
     PYTHONPATH=src python scripts/trace_report.py --trace-dir out/
+
+``--repairs`` restricts output to the repair-attribution view: one
+:func:`repro.obs.report.repair_summary_table` per configuration of the
+selected experiments (default: e13), summarizing every ``corrupt.*``
+and ``reconcile.*`` control hop in the trace.
 
 With ``--trace-dir`` each configuration's raw trace is also exported
 as JSONL (one :class:`~repro.obs.eventlog.TraceEvent` per line) for
 offline analysis; the export is byte-deterministic for a fixed seed.
 
 Exits nonzero if E10's fire-and-forget configurations attribute fewer
-than 95% of their lost updates to an exact hop — the acceptance bar
-for the loss-provenance machinery.
+than 95% of their lost updates to an exact hop, or if an E13
+reconciler configuration leaves a repair unattributed — the acceptance
+bars for the provenance machinery.
 """
 
 import argparse
@@ -26,12 +34,14 @@ import sys
 
 from repro.bench.experiments import e3_invalidation_race as e3
 from repro.bench.experiments import e10_chaos_soak as e10
+from repro.bench.experiments import e13_reconcile_chaos as e13
 from repro.obs import TraceIndex
-from repro.obs.report import render_trace_report
+from repro.obs.report import render_trace_report, repair_summary_table
 
 EXPERIMENTS = {
     "e3": e3,
     "e10": e10,
+    "e13": e13,
 }
 
 #: minimum fraction of E10 fire-and-forget wire losses that must be
@@ -47,18 +57,42 @@ def export_jsonl(trace_dir: str, experiment_id: str, name: str, tracer) -> str:
     return path
 
 
+def check_coverage(experiment_id: str, name: str, index: TraceIndex, failures) -> None:
+    if experiment_id == "e10" and name.endswith("-fireforget"):
+        lost, attributed = index.wire_loss_coverage()
+        if lost and attributed / lost < COVERAGE_FLOOR:
+            failures.append(
+                f"{experiment_id}/{name}: only {attributed}/{lost} "
+                f"lost updates attributed (< {COVERAGE_FLOOR:.0%})"
+            )
+    if experiment_id == "e13" and "reconciler" in name:
+        summary = index.repair_summary()
+        if summary["repairs_attributed"] != summary["repairs"]:
+            failures.append(
+                f"{experiment_id}/{name}: only "
+                f"{summary['repairs_attributed']}/{summary['repairs']} "
+                f"repairs attributed to an injection"
+            )
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "experiments", nargs="*",
-        help="which experiments to trace: e3, e10 (default: all)",
+        help="which experiments to trace: e3, e10, e13 (default: all, "
+             "or e13 with --repairs)",
+    )
+    parser.add_argument(
+        "--repairs", action="store_true",
+        help="print only the corruption-to-repair attribution view",
     )
     parser.add_argument(
         "--trace-dir", default=None,
         help="also export each configuration's trace as JSONL here",
     )
     args = parser.parse_args()
-    selected = [e.lower() for e in args.experiments] or list(EXPERIMENTS)
+    default = ["e13"] if args.repairs else list(EXPERIMENTS)
+    selected = [e.lower() for e in args.experiments] or default
     unknown = [e for e in selected if e not in EXPERIMENTS]
     if unknown:
         parser.error(f"unknown experiment(s): {', '.join(unknown)}")
@@ -67,22 +101,29 @@ def main() -> int:
     for experiment_id in selected:
         module = EXPERIMENTS[experiment_id]
         result = module.run(**module.QUICK)
-        print(result.render())
-        print()
-        for name, tracer in result.artifacts["tracers"].items():
-            print(render_trace_report(tracer, label=f"{experiment_id} / {name}"))
+        if not args.repairs:
+            print(result.render())
             print()
+        for name, tracer in result.artifacts["tracers"].items():
+            index = TraceIndex(tracer.log)
+            if args.repairs:
+                summary = index.repair_summary()
+                print(repair_summary_table(
+                    index, title=f"repairs: {experiment_id} / {name}"
+                ).render())
+                print(
+                    f"repair attribution: {summary['repairs_attributed']}"
+                    f"/{summary['repairs']} repairs joined to an injection"
+                )
+                print()
+            else:
+                print(render_trace_report(tracer, label=f"{experiment_id} / {name}"))
+                print()
             if args.trace_dir:
                 path = export_jsonl(args.trace_dir, experiment_id, name, tracer)
                 print(f"(trace exported: {path}, {len(tracer.log)} events)")
                 print()
-            if experiment_id == "e10" and name.endswith("-fireforget"):
-                lost, attributed = TraceIndex(tracer.log).wire_loss_coverage()
-                if lost and attributed / lost < COVERAGE_FLOOR:
-                    failures.append(
-                        f"{experiment_id}/{name}: only {attributed}/{lost} "
-                        f"lost updates attributed (< {COVERAGE_FLOOR:.0%})"
-                    )
+            check_coverage(experiment_id, name, index, failures)
         print("=" * 72)
         print()
 

@@ -64,7 +64,6 @@ class WatchRelay(LinkedCache, Watchable):
         self.fanout = WatchSystem(
             sim, fanout_config, name=f"{name}-fanout", tracer=tracer
         )
-        self._synced_once = False
 
     # ------------------------------------------------------------------
     # upstream side: feed the fan-out as we apply
@@ -86,15 +85,16 @@ class WatchRelay(LinkedCache, Watchable):
             )
 
     def _finish_sync(self, generation: int) -> None:
-        was_resync = self._synced_once
         super()._finish_sync(generation)
         if self.state != "watching":
             return  # superseded/unavailable; a retry will come back here
-        if was_resync:
-            # we missed upstream events; downstream below our snapshot
-            # version can no longer be caught up from the stream
-            self.fanout.raise_floor(self.knowledge.max_known_version())
-        self._synced_once = True
+        # events at or below the snapshot version never entered (or no
+        # longer survive in) the fan-out buffer, so no downstream watch
+        # below it can be caught up from the stream — true of the very
+        # first sync as much as of a resync: a relay that snapshots a
+        # non-empty store must floor out watchers starting from zero
+        # instead of silently streaming them nothing.
+        self.fanout.raise_floor(self.knowledge.max_known_version())
 
     # ------------------------------------------------------------------
     # downstream side

@@ -63,6 +63,7 @@ class EdgeClient:
         self.disconnects = 0
         self.updates_applied = 0
         self.snapshots_applied = 0
+        self.resyncs_forced = 0
         #: why each session ended, in order (storm accounting reads this)
         self.close_reasons: List[str] = []
         #: how far behind (frontend head - cursor) each connect found us
@@ -105,6 +106,23 @@ class EdgeClient:
     def stop(self) -> None:
         """Stop reconnecting (end-of-run teardown)."""
         self.stopped = True
+
+    def force_resync(self) -> None:
+        """Repair path: discard the durable cursors and local state so
+        the next session starts from scratch (snapshot or full replay).
+
+        The edge reconciler calls this when the reconnect cursor is
+        provably corrupt (ahead of the source head): a forged cursor
+        makes every delta catch-up silently skip the gap, so the only
+        safe repair is to throw the cursor away."""
+        self.cursor = VERSION_ZERO
+        self.offsets = {}
+        self.state = {}
+        self.resyncs_forced += 1
+        if self.session is not None:
+            self.session.close("resync")
+        elif self.auto_reconnect and not self.stopped:
+            self.sim.call_after(self.reconnect_delay, self.connect)
 
     # ------------------------------------------------------------------
     # delivery (sessions call this)

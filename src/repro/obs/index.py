@@ -78,9 +78,14 @@ class TraceIndex:
         #: (topic, partition, offset) -> (key, version) from append spans
         self._offset_identity: Dict[Tuple[str, int, int], Tuple[str, int]] = {}
         self._gap_events: List[TraceEvent] = []
+        #: reconcile.* / corrupt.inject control-plane events, log order
+        self._control: List[TraceEvent] = []
         for event in log:
             if event.hop == hops.PUBSUB_GAP:
                 self._gap_events.append(event)
+                continue
+            if event.hop.startswith(("reconcile.", "corrupt.")):
+                self._control.append(event)
                 continue
             if event.key is None or event.version is None:
                 self._transport.append(event)
@@ -292,6 +297,59 @@ class TraceIndex:
                 if name is not None:
                     counts[name] += 1
         return counts
+
+    def repair_summary(self) -> Dict[str, object]:
+        """Attribute every ``reconcile.repair`` to the corruption it
+        fixed, and every ``corrupt.inject`` to the repair that fixed it.
+
+        Joins the two control-plane event families on *scope*: an
+        injection is **repaired** by the earliest repair in its scope at
+        ``t >= inject.t``; a repair is **attributed** when at least one
+        injection preceded it in its scope.  Returns::
+
+            {"classes": {cls: {"injected", "repaired", "unrepaired",
+                               "max_lag_s"}},
+             "repairs": total reconcile.repair events,
+             "repairs_attributed": of which joined to an injection}
+        """
+        injects = [e for e in self._control if e.hop == hops.CORRUPT_INJECT]
+        repairs = [e for e in self._control if e.hop == hops.RECONCILE_REPAIR]
+        by_scope: Dict[str, List[TraceEvent]] = {}
+        for repair in repairs:
+            by_scope.setdefault(repair.attrs.get("scope"), []).append(repair)
+
+        classes: Dict[str, Dict[str, float]] = {}
+        for inject in injects:
+            cls = inject.attrs.get("cls", "unknown")
+            row = classes.setdefault(
+                cls, {"injected": 0, "repaired": 0, "unrepaired": 0,
+                      "max_lag_s": 0.0},
+            )
+            row["injected"] += 1
+            fixed_at = next(
+                (r.t for r in by_scope.get(inject.attrs.get("scope"), ())
+                 if r.t >= inject.t),
+                None,
+            )
+            if fixed_at is None:
+                row["unrepaired"] += 1
+            else:
+                row["repaired"] += 1
+                row["max_lag_s"] = max(row["max_lag_s"], fixed_at - inject.t)
+
+        inject_scopes: Dict[str, List[float]] = {}
+        for inject in injects:
+            inject_scopes.setdefault(inject.attrs.get("scope"), []).append(inject.t)
+        attributed = sum(
+            1 for repair in repairs
+            if any(t <= repair.t
+                   for t in inject_scopes.get(repair.attrs.get("scope"), ()))
+        )
+        return {
+            "classes": classes,
+            "repairs": len(repairs),
+            "repairs_attributed": attributed,
+        }
 
     def provenance_counts(self) -> Dict[Tuple[str, str], int]:
         """{(last_hop, cause): lost-update count}, for summary tables."""

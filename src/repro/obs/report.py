@@ -57,6 +57,29 @@ def loss_provenance_table(index: TraceIndex, title: str = "loss provenance") -> 
     return table
 
 
+def repair_summary_table(index: TraceIndex, title: str = "repairs") -> Table:
+    """``corrupt.inject`` → ``reconcile.repair`` attribution per class.
+
+    One row per corruption class: how many were injected, how many a
+    later repair in the same scope fixed, and the longest inject-to-
+    repair lag (the rounds-to-converge bound E13 asserts on).
+    """
+    summary = index.repair_summary()
+    table = Table(
+        title=title,
+        columns=["class", "injected", "repaired", "unrepaired", "max_lag_s"],
+    )
+    for cls, row in sorted(summary["classes"].items()):
+        table.add(
+            **{"class": cls},
+            injected=row["injected"],
+            repaired=row["repaired"],
+            unrepaired=row["unrepaired"],
+            max_lag_s=round(row["max_lag_s"], 3),
+        )
+    return table
+
+
 def trace_summary_row(index: TraceIndex) -> dict:
     """Compact per-config summary used by the E3/E10 trace tables."""
     registry = index.hop_latencies(MetricsRegistry())
@@ -101,5 +124,13 @@ def render_trace_report(tracer: Tracer, label: str = "") -> str:
             f"wire-loss provenance: {attributed}/{lost} lost updates "
             f"attributed to an exact hop "
             f"({100.0 * attributed / lost:.1f}%)"
+        )
+    summary = index.repair_summary()
+    if summary["classes"] or summary["repairs"]:
+        lines.append("")
+        lines.append(repair_summary_table(index).render())
+        lines.append(
+            f"repair attribution: {summary['repairs_attributed']}"
+            f"/{summary['repairs']} repairs joined to an injection"
         )
     return "\n".join(lines)

@@ -71,6 +71,15 @@ class hops:
     # work-queue task lifecycle
     TASK_ENQUEUE = "task.enqueue"
     TASK_COMPLETE = "task.complete"
+    # reconciliation control plane (repro.reconcile; key=None — these
+    # are control events joined to corruption injections by their
+    # ``scope`` attr, not to update chains)
+    RECONCILE_PLAN = "reconcile.plan"          # divergence observed, op claimed
+    RECONCILE_REPAIR = "reconcile.repair"      # op completed: scope legal again
+    RECONCILE_CAS_REJECT = "reconcile.cas_reject"  # lost the claim race
+    RECONCILE_TIMEOUT = "reconcile.timeout"    # per-op deadline expired
+    RECONCILE_GIVEUP = "reconcile.giveup"      # retry budget exhausted (ERROR)
+    CORRUPT_INJECT = "corrupt.inject"          # StateCorruptor mutated state
 
 
 @dataclass(frozen=True)

@@ -22,7 +22,7 @@ WatchReplicator` — §4.3's claim that progress events let replicas apply
 concurrently *and* externalize only states that existed at the source.
 """
 
-from repro.replication.target import ReplicaStore
+from repro.replication.target import CursorCorruption, ReplicaStore
 from repro.replication.checker import SnapshotChecker, AclInvariantChecker, state_fingerprint
 from repro.replication.appliers import (
     SerialTxnApplier,
@@ -33,6 +33,7 @@ from repro.replication.appliers import (
 from repro.replication.watch_replicator import WatchReplicator
 
 __all__ = [
+    "CursorCorruption",
     "ReplicaStore",
     "SnapshotChecker",
     "AclInvariantChecker",

@@ -20,7 +20,7 @@ from repro.pubsub.broker import Broker
 from repro.pubsub.consumer import Consumer
 from repro.pubsub.message import Message
 from repro.pubsub.subscription import RoutingPolicy, SubscriptionConfig
-from repro.replication.target import ReplicaStore
+from repro.replication.target import CursorCorruption, ReplicaStore
 from repro.resilience.channel import ChannelConfig, ReliableChannel
 from repro.sim.kernel import Simulation
 from repro.sim.network import Network
@@ -68,12 +68,19 @@ class _ApplierBase:
         self.sim = sim
         self.target = target
         self.records_seen = 0
+        #: applies refused by the replica because a cursor was provably
+        #: corrupted (typed CursorCorruption); the record is consumed
+        #: but never applied — the reconciliation plane's repair signal
+        self.cursor_faults = 0
         self._tx: Optional[ReliableChannel] = None
         if network is not None:
             self._endpoint_name = f"{group_name}-replica"
 
             def apply_remote(src: str, op: Dict[str, Any]) -> None:
-                getattr(self.target, op["method"])(*op["args"])
+                try:
+                    getattr(self.target, op["method"])(*op["args"])
+                except CursorCorruption:
+                    self.cursor_faults += 1
 
             self._rx = ReliableChannel(
                 sim, network, self._endpoint_name,
@@ -130,7 +137,17 @@ class _ApplierBase:
             return ok
         self.records_seen += len(ops)
         if self._tx is None:
-            self.target.apply_many(ops)
+            try:
+                self.target.apply_many(ops)
+            except CursorCorruption:
+                # isolate the poisoned op(s); the rest of the group
+                # applies (re-running already-applied ops is a no-op
+                # under the versioned disciplines)
+                for method, args in ops:
+                    try:
+                        getattr(self.target, method)(*args)
+                    except CursorCorruption:
+                        self.cursor_faults += 1
         else:
             self._tx.send(
                 self._endpoint_name, {"method": "apply_many", "args": (ops,)}
@@ -140,7 +157,10 @@ class _ApplierBase:
     def _apply_op(self, method: str, *args: Any) -> None:
         """Apply to the target: direct call, or shipped over the network."""
         if self._tx is None:
-            getattr(self.target, method)(*args)
+            try:
+                getattr(self.target, method)(*args)
+            except CursorCorruption:
+                self.cursor_faults += 1
         else:
             self._tx.send(self._endpoint_name, {"method": method, "args": args})
 

@@ -83,6 +83,20 @@ class SnapshotChecker:
                 self._source_fp ^= _item_hash(key, mutation.value)
         self._fp_versions.setdefault(self._source_fp, []).append(commit.version)
 
+    @property
+    def source_fingerprint(self) -> int:
+        """XOR fingerprint of the source's current visible state.
+
+        A replica whose fingerprint equals this is (modulo XOR
+        collisions) byte-identical to the source head — the O(1) fast
+        path the anti-entropy reconciler checks before diffing."""
+        return self._source_fp
+
+    @property
+    def source_head(self) -> Version:
+        """The newest source version the checker has folded in."""
+        return self.source.last_version
+
     # ------------------------------------------------------------------
     # target side
 

@@ -100,6 +100,16 @@ class AutoSharder:
         """The current (authoritative) assignment."""
         return self._assignment
 
+    @property
+    def generation(self) -> int:
+        """The generation counter the next install will exceed.
+
+        Legally ``assignment.generation == generation`` at all times; a
+        mismatch means the installed assignment was forged/replaced
+        behind the sharder's back (the corruption the reconciliation
+        plane detects)."""
+        return self._generation
+
     def subscribe(self, listener: AssignmentListener, immediate: bool = True) -> Callable[[], None]:
         """Register a listener; it is notified (with latency) of every
         future assignment, and of the current one when ``immediate``."""
@@ -200,6 +210,14 @@ class AutoSharder:
                 slices.append(s)
         if changed:
             self._install(slices)
+
+    def reinstall(self) -> Assignment:
+        """Re-stamp the currently installed slices as a fresh generation
+        and notify every listener (the repair for a forged/stale
+        assignment: whatever map is installed becomes the authoritative
+        truth again, and listeners re-converge on it)."""
+        self._install(list(self._assignment.slices))
+        return self._assignment
 
     # ------------------------------------------------------------------
     # rebalancing

@@ -8,6 +8,7 @@ from repro.bench.experiments import (
     e10_chaos_soak,
     e11_edge_storm,
     e12_batching,
+    e13_reconcile_chaos,
 )
 
 
@@ -84,6 +85,25 @@ def test_e12_replays_identically():
     assert _rows(e12_batching.run(**params)) == _rows(
         e12_batching.run(**params)
     )
+
+
+def test_e13_replays_identically():
+    # injection points, retry schedules, and edge reconnects all draw
+    # from the sim RNG: the corruption chaos run must replay exactly —
+    # including the corrupt.inject/reconcile.repair control events in
+    # the exported trace
+    params = dict(
+        num_clients=4, num_keys=24, update_rate=10.0,
+        duration=10.0, settle=16.0, injections_per_class=1,
+        inject_window=3.0, num_shards=2, seed=19,
+    )
+    first = e13_reconcile_chaos.run(**params)
+    second = e13_reconcile_chaos.run(**params)
+    assert _rows(first) == _rows(second)
+    for config_name, tracer in first.artifacts["tracers"].items():
+        jsonl = tracer.to_jsonl()
+        assert jsonl
+        assert jsonl == second.artifacts["tracers"][config_name].to_jsonl()
 
 
 def test_seed_changes_outcomes():

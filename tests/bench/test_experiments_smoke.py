@@ -19,6 +19,7 @@ from repro.bench.experiments import (
     e10_chaos_soak,
     e11_edge_storm,
     e12_batching,
+    e13_reconcile_chaos,
 )
 
 
@@ -152,3 +153,26 @@ def test_e12_smoke():
     # a dropped fire-and-forget frame attributes all N records
     fireforget = next(r for r in rows if "fireforget" in r["config"])
     assert fireforget["wire_lost"] == fireforget["lost_attributed"] > 0
+
+
+def test_e13_smoke():
+    result = e13_reconcile_chaos.run(
+        num_clients=4, num_keys=24, update_rate=10.0,
+        duration=10.0, settle=16.0, injections_per_class=1,
+        inject_window=3.0, num_shards=2,
+    )
+    table = result.table("convergence")
+    control = table.row_by("config", "pubsub-only")
+    repaired = table.row_by("config", "pubsub+reconciler")
+    # the pipelines alone never notice the corruption...
+    assert not control["legal"] and control["repairs"] == 0
+    # ...the reconciler returns the system to a legal state, every
+    # repair attributed to the injection it fixed
+    assert repaired["legal"]
+    assert repaired["attributed"] == repaired["repairs"] > 0
+    classes = result.table("corruption classes")
+    for row in classes.rows:
+        if row["config"] == "pubsub+reconciler":
+            assert row["unrepaired"] == 0
+        else:
+            assert row["repaired"] == 0

@@ -183,3 +183,67 @@ class TestBrokerLossProvenance:
         assert counts == {
             (hops.PUBLISH_SEND, "unattributed (in flight)"): 2,
         }
+
+
+class TestRepairSummary:
+    def test_control_events_do_not_pollute_chains(self):
+        # reconcile.*/corrupt.* are control-plane: routed aside even when
+        # they carry no key/version, never mixed into transport evidence
+        log = _log(
+            (0.0, hops.COMMIT, "a", 1, {}),
+            (1.0, hops.CORRUPT_INJECT, None, None,
+             {"cls": "replica-map-tear", "scope": "replica/s0"}),
+            (2.0, hops.RECONCILE_REPAIR, None, None,
+             {"scope": "replica/s0", "op": "anti-entropy"}),
+        )
+        index = TraceIndex(log)
+        assert index.chains() == [("a", 1)]
+        assert index._transport == []  # not treated as wire evidence
+        assert index.repair_summary()["repairs"] == 1
+
+    def test_injection_joined_to_earliest_following_repair(self):
+        log = _log(
+            (1.0, hops.CORRUPT_INJECT, None, None,
+             {"cls": "replica-map-tear", "scope": "replica/s0"}),
+            (0.5, hops.RECONCILE_REPAIR, None, None,
+             {"scope": "replica/s0"}),   # earlier repair: not this one
+            (3.0, hops.RECONCILE_REPAIR, None, None,
+             {"scope": "replica/s0"}),
+        )
+        summary = TraceIndex(log).repair_summary()
+        row = summary["classes"]["replica-map-tear"]
+        assert row == {
+            "injected": 1, "repaired": 1, "unrepaired": 0, "max_lag_s": 2.0,
+        }
+        # the t=0.5 repair precedes every injection: unattributed
+        assert summary["repairs"] == 2
+        assert summary["repairs_attributed"] == 1
+
+    def test_unrepaired_injection_counted(self):
+        log = _log(
+            (1.0, hops.CORRUPT_INJECT, None, None,
+             {"cls": "edge-cursor-advance", "scope": "edge/c1"}),
+            (2.0, hops.RECONCILE_REPAIR, None, None,
+             {"scope": "edge/c2"}),   # different scope: no join
+        )
+        summary = TraceIndex(log).repair_summary()
+        row = summary["classes"]["edge-cursor-advance"]
+        assert (row["injected"], row["repaired"], row["unrepaired"]) == (1, 0, 1)
+        assert summary["repairs_attributed"] == 0
+
+    def test_classes_aggregate_across_scopes(self):
+        log = _log(
+            (1.0, hops.CORRUPT_INJECT, None, None,
+             {"cls": "replica-cursor-rewind", "scope": "replica/s0"}),
+            (1.0, hops.CORRUPT_INJECT, None, None,
+             {"cls": "replica-cursor-rewind", "scope": "replica/s1"}),
+            (1.5, hops.RECONCILE_REPAIR, None, None,
+             {"scope": "replica/s0"}),
+            (4.0, hops.RECONCILE_REPAIR, None, None,
+             {"scope": "replica/s1"}),
+        )
+        summary = TraceIndex(log).repair_summary()
+        row = summary["classes"]["replica-cursor-rewind"]
+        assert (row["injected"], row["repaired"]) == (2, 2)
+        assert row["max_lag_s"] == 3.0  # the slower of the two joins
+        assert summary["repairs_attributed"] == 2

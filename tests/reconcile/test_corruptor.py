@@ -1,0 +1,113 @@
+"""Tests for the StateCorruptor and its scope partitioning."""
+
+import pytest
+
+from repro._types import KEY_MAX, KEY_MIN, Mutation
+from repro.obs import Tracer
+from repro.obs.trace import hops
+from repro.reconcile.corruptor import (
+    CORRUPTION_CLASSES,
+    StateCorruptor,
+    scope_for_key,
+    shard_scopes,
+)
+from repro.replication.target import (
+    CursorCorruption,
+    ReplicaStore,
+    _item_hash,
+)
+from repro.sim.kernel import Simulation
+from repro.storage.kv import MVCCStore
+
+
+def _fingerprint_of(state):
+    fp = 0
+    for key, value in state.items():
+        fp ^= _item_hash(key, value)
+    return fp
+
+
+def _replica_with(store, keys):
+    replica = ReplicaStore()
+    for key in keys:
+        version = store.put(key, {"v": key})
+        replica.apply_versioned(key, Mutation.put({"v": key}), version)
+    return replica
+
+
+class TestShardScopes:
+    def test_partitions_the_whole_keyspace(self):
+        shards = shard_scopes(4)
+        assert len(shards) == 4
+        assert shards[0][1].low == KEY_MIN
+        assert shards[-1][1].high == KEY_MAX
+        for (_, a), (_, b) in zip(shards, shards[1:]):
+            assert a.high == b.low  # contiguous, no gaps
+
+    def test_scope_for_key_covers_everything(self):
+        shards = shard_scopes(3)
+        for key in ("", "a", "m", "zz", "0numeric"):
+            assert scope_for_key(shards, key) in [name for name, _ in shards]
+
+    def test_single_shard(self):
+        shards = shard_scopes(1)
+        assert len(shards) == 1
+        assert scope_for_key(shards, "anything") == shards[0][0]
+
+
+class TestReplicaCorruption:
+    def setup_method(self):
+        self.sim = Simulation(seed=11)
+        self.store = MVCCStore(clock=self.sim.now)
+        self.replica = _replica_with(self.store, [f"k{i}" for i in range(8)])
+        self.tracer = Tracer(self.sim)
+        self.corruptor = StateCorruptor(
+            self.sim, tracer=self.tracer, source=self.store,
+            replica=self.replica, shards=shard_scopes(2),
+        )
+
+    def test_tear_removes_keys_fingerprint_consistent(self):
+        before = len(self.replica.items())
+        landed = self.corruptor.inject("replica-map-tear")
+        assert landed == 3
+        state = self.replica.items()
+        assert len(state) == before - 3
+        # the fingerprint tracks the torn state (the store has no idea)
+        assert self.replica.fingerprint == _fingerprint_of(state)
+
+    def test_rewind_reverts_values_and_cursors(self):
+        landed = self.corruptor.inject("replica-cursor-rewind")
+        assert landed == 3
+        state = self.replica.items()
+        stale = [key for key, value in state.items()
+                 if isinstance(value, dict) and "stale" in value]
+        assert len(stale) == 3
+        assert self.replica.fingerprint == _fingerprint_of(state)
+
+    def test_advance_forges_cursors_beyond_head(self):
+        self.corruptor.inject("replica-cursor-advance")
+        with pytest.raises(CursorCorruption):
+            self.replica.verify_cursor(self.store.last_version)
+        # forged keys now refuse every apply with the typed error
+        forged = [key for key in self.replica.items()
+                  if self.replica.version_of(key) > self.replica.cursor]
+        assert forged
+        with pytest.raises(CursorCorruption):
+            self.replica.apply_versioned(
+                forged[0], Mutation.put("x"), self.store.last_version + 1
+            )
+
+    def test_each_injection_is_traced(self):
+        self.corruptor.inject("replica-map-tear")
+        events = [e for e in self.tracer.log if e.hop == hops.CORRUPT_INJECT]
+        assert len(events) == 3 == self.corruptor.injections
+        for event in events:
+            assert event.attrs["cls"] == "replica-map-tear"
+            assert event.attrs["scope"].startswith("replica/")
+
+    def test_known_classes_all_dispatch(self):
+        # edge/placement classes just land 0 faults without targets
+        for cls in CORRUPTION_CLASSES:
+            self.corruptor.inject(cls)
+        assert self.corruptor.by_class["replica-map-tear"] == 3
+        assert "session-orphan" not in self.corruptor.by_class

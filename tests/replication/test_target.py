@@ -3,7 +3,7 @@
 import pytest
 
 from repro._types import Mutation
-from repro.replication.target import ReplicaStore, _item_hash
+from repro.replication.target import CursorCorruption, ReplicaStore, _item_hash
 
 
 class TestNaiveApply:
@@ -89,3 +89,63 @@ class TestFingerprint:
         t.apply_naive("a", Mutation.put(2), 2)
         assert t.fingerprint != fp1
         assert t.fingerprint == _item_hash("a", 2)
+
+
+class TestCursorCorruption:
+    def _forged(self):
+        """A replica whose 'k' cursor was pushed past the watermark."""
+        t = ReplicaStore()
+        t.apply_versioned("k", Mutation.put(1), 5)
+        t.apply_versioned("other", Mutation.put(2), 8)
+        t._versions["k"] = 10_000  # forged behind the system's back
+        return t
+
+    def test_cursor_tracks_watermark(self):
+        t = ReplicaStore()
+        t.apply_versioned("a", Mutation.put(1), 5)
+        t.apply_versioned("b", Mutation.put(2), 3)  # lower: no advance
+        assert t.cursor == 5
+
+    def test_forged_key_refuses_apply(self):
+        t = self._forged()
+        with pytest.raises(CursorCorruption) as err:
+            t.apply_versioned("k", Mutation.put("x"), 9)
+        assert err.value.kind == "key-ahead" and err.value.key == "k"
+        # the other key is unaffected by the forged one
+        assert t.apply_versioned("other", Mutation.put(3), 9)
+
+    def test_verify_cursor_detects_key_ahead(self):
+        t = self._forged()
+        with pytest.raises(CursorCorruption):
+            t.verify_cursor()
+
+    def test_verify_cursor_detects_beyond_head(self):
+        t = ReplicaStore()
+        t.apply_versioned("k", Mutation.put(1), 50)
+        t.verify_cursor(source_head=50)  # legal at the head
+        with pytest.raises(CursorCorruption) as err:
+            t.verify_cursor(source_head=40)  # head says 40: cursor forged
+        assert err.value.kind == "beyond-head"
+
+    def test_repair_moves_cursor_backwards(self):
+        t = self._forged()
+        t.repair("k", Mutation.put("true-value"), 5)
+        t.reset_cursor()
+        t.verify_cursor(source_head=8)  # no raise: legal again
+        assert t.get("k") == "true-value"
+        assert t.version_of("k") == 5
+        assert t.repairs == 1
+
+    def test_reset_cursor_recomputes_watermark(self):
+        t = self._forged()
+        t._versions["k"] = 2  # as if a repair rewrote it
+        assert t.reset_cursor() == 8
+        assert t.cursor == 8
+
+    def test_repair_keeps_fingerprint_incremental(self):
+        t = ReplicaStore()
+        t.apply_versioned("k", Mutation.put("wrong"), 5)
+        t.repair("k", Mutation.put("right"), 6)
+        assert t.fingerprint == _item_hash("k", "right")
+        t.repair("k", Mutation.delete(), 7)
+        assert t.fingerprint == 0
