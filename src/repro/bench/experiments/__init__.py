@@ -25,6 +25,7 @@ _MODULES: Dict[str, str] = {
     "E11": "repro.bench.experiments.e11_edge_storm",
     "E12": "repro.bench.experiments.e12_batching",
     "E13": "repro.bench.experiments.e13_reconcile_chaos",
+    "E14": "repro.bench.experiments.e14_session_scale",
     # ablations of the proposed model's design choices
     "A1": "repro.bench.experiments.a1_fanout_tree",
     "A2": "repro.bench.experiments.a2_soft_state_budget",

@@ -46,6 +46,10 @@ from repro.core.events import ChangeEvent, ProgressEvent
 class Cancellable(abc.ABC):
     """Handle to an active watch; cancel to stop the stream."""
 
+    #: empty so ``__slots__`` subclasses (WatcherSession at E14 scale)
+    #: don't inherit an instance dict from the base
+    __slots__ = ()
+
     @abc.abstractmethod
     def cancel(self) -> None:
         """Stop the stream; no callbacks fire after cancellation settles."""

@@ -36,7 +36,11 @@ from repro.core.linked_cache import (
     SnapshotUnavailable,
 )
 from repro.core.stream import WatcherConfig
-from repro.core.watch_system import WatchSystem, WatchSystemConfig
+from repro.core.watch_system import (
+    WatchSystem,
+    WatchSystemConfig,
+    _SYSTEM_TRACER,
+)
 from repro.obs.trace import hops
 from repro.resilience.channel import ChannelConfig, ReliableChannel
 from repro.sim.kernel import Simulation
@@ -111,9 +115,12 @@ class WatchRelay(LinkedCache, Watchable):
         callback: WatchCallback,
         config: Optional[WatcherConfig] = None,
         predicate=None,
+        tracer=_SYSTEM_TRACER,
+        progress: bool = True,
     ) -> Cancellable:
         return self.fanout.watch_range(
-            key_range, version, callback, config, predicate=predicate
+            key_range, version, callback, config, predicate=predicate,
+            tracer=tracer, progress=progress,
         )
 
     def snapshot_for_downstream(

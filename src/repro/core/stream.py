@@ -49,7 +49,25 @@ _Item = Union[ChangeEvent, ProgressEvent, str]
 
 
 class WatcherSession(Cancellable):
-    """One active watch: range, position, delivery queue."""
+    """One active watch: range, position, delivery queue.
+
+    ``__slots__``-only, and the delivery queue is allocated lazily on
+    first enqueue: at E14 scale there is one of these per edge session
+    feed, and for a mostly-idle population the instance dict plus an
+    empty ``deque`` (~0.6KB) would be the dominant per-watch cost.
+    Producers that touch ``_queue`` directly (the watch system's
+    inlined fan-out path) share the same lazy contract: ``None`` means
+    empty-and-unallocated.
+    """
+
+    __slots__ = (
+        "sim", "key_range", "from_version", "callback", "config",
+        "_on_closed", "tracer", "label", "predicate", "_queue",
+        "_draining", "_active", "delivered_version", "events_delivered",
+        "progress_delivered", "resyncs_signalled", "overflow_drops",
+        "_low", "_high", "_cb_event", "_cb_progress", "_max_backlog",
+        "_delivery_latency", "_service_time", "_pending", "_drain_cb",
+    )
 
     def __init__(
         self,
@@ -77,7 +95,8 @@ class WatcherSession(Cancellable):
         #: up to v supplied", which is exactly what a filtered
         #: materialization needs.
         self.predicate = predicate
-        self._queue: Deque[_Item] = deque()
+        #: lazily allocated on first enqueue (None == empty)
+        self._queue: Optional[Deque[_Item]] = None
         self._draining = False
         self._active = True
         #: highest change-event version delivered (monotone per key by
@@ -97,6 +116,9 @@ class WatcherSession(Cancellable):
         self._delivery_latency = config.delivery_latency
         self._service_time = config.service_time
         self._pending: Optional[_Item] = None
+        #: pre-bound so the offer paths post without allocating a bound
+        #: method per drain kick
+        self._drain_cb = self._drain_next
 
     # ------------------------------------------------------------------
     # Cancellable
@@ -109,7 +131,8 @@ class WatcherSession(Cancellable):
         if not self._active:
             return
         self._active = False
-        self._queue.clear()
+        if self._queue is not None:
+            self._queue.clear()
         if self._on_closed is not None:
             self._on_closed(self)
 
@@ -129,13 +152,15 @@ class WatcherSession(Cancellable):
         if self.predicate is not None and not self.predicate(event):
             return
         queue = self._queue
-        if len(queue) >= self._max_backlog:
+        if queue is None:
+            queue = self._queue = deque()
+        elif len(queue) >= self._max_backlog:
             self.signal_resync()
             return
         queue.append(event)
         if not self._draining:
             self._draining = True
-            self.sim.post(self._delivery_latency, self._drain_next)
+            self.sim.post(self._delivery_latency, self._drain_cb)
 
     def offer_matched(self, event: ChangeEvent) -> None:
         """:meth:`offer_event` minus the range check, for producers that
@@ -148,13 +173,15 @@ class WatcherSession(Cancellable):
         if self.predicate is not None and not self.predicate(event):
             return
         queue = self._queue
-        if len(queue) >= self._max_backlog:
+        if queue is None:
+            queue = self._queue = deque()
+        elif len(queue) >= self._max_backlog:
             self.signal_resync()
             return
         queue.append(event)
         if not self._draining:
             self._draining = True
-            self.sim.post(self._delivery_latency, self._drain_next)
+            self.sim.post(self._delivery_latency, self._drain_cb)
 
     def offer_progress(self, progress: ProgressEvent) -> None:
         """Enqueue the intersection of a progress event with our range."""
@@ -177,18 +204,22 @@ class WatcherSession(Cancellable):
         """
         if not self._active:
             return
-        self.overflow_drops += len(self._queue)
-        self._queue.clear()
+        if self._queue is not None:
+            self.overflow_drops += len(self._queue)
+            self._queue.clear()
         self._enqueue(_RESYNC)
 
     def _enqueue(self, item: _Item) -> None:
-        if item is not _RESYNC and len(self._queue) >= self._max_backlog:
+        queue = self._queue
+        if queue is None:
+            queue = self._queue = deque()
+        elif item is not _RESYNC and len(queue) >= self._max_backlog:
             self.signal_resync()
             return
-        self._queue.append(item)
+        queue.append(item)
         if not self._draining:
             self._draining = True
-            self.sim.post(self._delivery_latency, self._drain_next)
+            self.sim.post(self._delivery_latency, self._drain_cb)
 
     # ------------------------------------------------------------------
     # consumer side
@@ -200,6 +231,9 @@ class WatcherSession(Cancellable):
         # Items enqueued by a callback mid-drain are picked up by the
         # same loop at the same virtual time.
         queue = self._queue
+        if queue is None:
+            self._draining = False
+            return
         if self._service_time > 0:
             if not self._active or not queue:
                 self._draining = False
@@ -271,4 +305,5 @@ class WatcherSession(Cancellable):
     @property
     def backlog(self) -> int:
         """Items queued but not yet delivered."""
-        return len(self._queue)
+        queue = self._queue
+        return len(queue) if queue is not None else 0

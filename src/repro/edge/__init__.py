@@ -14,6 +14,7 @@ from repro.edge.frontend import (
     WatchEdgeFrontend,
 )
 from repro.edge.placement import SessionPlacement
+from repro.edge.session_table import SessionTable
 from repro.edge.session import (
     ClientSession,
     SessionConfig,
@@ -29,6 +30,7 @@ __all__ = [
     "PubsubEdgeFrontend",
     "SessionConfig",
     "SessionPlacement",
+    "SessionTable",
     "SlowConsumerPolicy",
     "SnapshotDelivery",
     "Update",

@@ -32,7 +32,21 @@ _TOTAL_KEYS = (
 
 
 class EdgeClient:
-    """One client identity: cursors, state, and reconnect policy."""
+    """One client identity: cursors, state, and reconnect policy.
+
+    ``__slots__``-only: at E14 scale there is one of these per session
+    chain, and the instance dict would roughly double the per-client
+    footprint.
+    """
+
+    __slots__ = (
+        "sim", "name", "placement", "key_range", "service_time",
+        "reconnect_delay", "auto_reconnect", "stopped", "cursor",
+        "offsets", "state", "session", "connects", "rejected_connects",
+        "disconnects", "updates_applied", "snapshots_applied",
+        "resyncs_forced", "close_reasons", "staleness_at_connect",
+        "peak_queue", "totals",
+    )
 
     def __init__(
         self,

@@ -49,7 +49,8 @@ from repro.edge.session import (
     SlowConsumerPolicy,
     Update,
 )
-from repro.obs.trace import hops, payload_version
+from repro.edge.session_table import SessionTable
+from repro.obs.trace import TraceSampler, hops, payload_version
 from repro.pubsub.broker import Broker
 from repro.pubsub.consumer import Consumer
 from repro.pubsub.message import Message
@@ -88,12 +89,35 @@ class EdgeFrontendConfig:
     #: one drain kick per frame instead of per update.  None (default)
     #: keeps the per-event offer path unchanged.
     feed_batch: Optional[BatchConfig] = None
+    #: Shared-drain tick (seconds).  When set, sessions join the
+    #: frontend :class:`~repro.edge.session_table.SessionTable`'s
+    #: intrusive ready list and ONE pump event per tick delivers one
+    #: item for every ready session — O(active sessions) kernel events
+    #: instead of one per session per item, the E14 scaling mode.  The
+    #: tick replaces ``session.delivery_latency`` for drain pacing.
+    #: None (default) keeps per-session drain events, byte-identical
+    #: to the pre-table schedule.
+    drain_interval: Optional[float] = None
+    #: Trace 1-in-N connected sessions (deterministic, by connect
+    #: order); sampled-out sessions run with ``tracer=None`` so a
+    #: million-session run doesn't spend its memory on trace events.
+    #: 1 (default) traces everything.
+    trace_sample: int = 1
+    #: Whether each session's relay feed subscribes to progress events.
+    #: Feeds discard them (sessions deliver values, not knowledge
+    #: windows), but their delivery still costs one queued event per
+    #: session per progress tick — O(sessions) work that E14 turns off
+    #: (the frontend tracks knowledge centrally via the relay).  True
+    #: (default) keeps the subscribed schedule byte-identical.
+    feed_progress: bool = True
 
     def __post_init__(self) -> None:
         if self.catchup_threshold < 0:
             raise ValueError("catchup_threshold must be >= 0")
         if self.replay_batch < 1:
             raise ValueError("replay_batch must be >= 1")
+        if self.drain_interval is not None and self.drain_interval < 0:
+            raise ValueError("drain_interval must be >= 0")
 
 
 class _SessionFeed(WatchCallback):
@@ -174,6 +198,11 @@ class WatchEdgeFrontend:
         self.tracer = tracer
         self.up = True
         self.sessions: Dict[str, ClientSession] = {}
+        self.table = SessionTable(
+            sim,
+            drain_interval=self.config.drain_interval,
+            sampler=TraceSampler(self.config.trace_sample),
+        )
         self.connects = 0
         self.catchups_served = 0
         self.snapshots_served = 0
@@ -224,10 +253,12 @@ class WatchEdgeFrontend:
         if not self.up:
             raise RuntimeError(f"frontend {self.name} is down")
         self.connects += 1
+        tracer = self.tracer if self.table.sampler.keep(self.connects - 1) else None
         session = ClientSession(
             self.sim, f"{self.name}/{client.name}", client,
             key_range=client.key_range, config=self.config.session,
-            on_closed=self._session_closed, tracer=self.tracer,
+            on_closed=self._session_closed, tracer=tracer,
+            table=self.table,
         )
         self.sessions[client.name] = session
         cursor = client.cursor
@@ -242,8 +273,8 @@ class WatchEdgeFrontend:
             # delivery runs — the reconnect cycle would never progress
             threshold = min(threshold, self.config.session.max_queue)
         delta = staleness <= threshold
-        if self.tracer is not None:
-            self.tracer.record(
+        if session.tracer is not None:
+            session.tracer.record(
                 hops.EDGE_CONNECT, self.name,
                 session=session.name, client=client.name,
                 mode="delta" if delta else "snapshot", staleness=staleness,
@@ -257,8 +288,11 @@ class WatchEdgeFrontend:
 
     def _attach_feed(self, session: ClientSession, from_version: Version) -> None:
         feed = _SessionFeed(self, session)
+        # the feed inherits the session's *sampled* tracer so an
+        # unsampled session's relay feed records no per-delivery hops
         handle = self.relay.watch_range(
-            session.key_range, from_version, feed, config=_FEED_CONFIG
+            session.key_range, from_version, feed, config=_FEED_CONFIG,
+            tracer=session.tracer, progress=self.config.feed_progress,
         )
         if session.active:
             session._feed_handle = handle
@@ -291,8 +325,8 @@ class WatchEdgeFrontend:
             )
             return
         self.snapshots_served += 1
-        if self.tracer is not None:
-            self.tracer.record(
+        if session.tracer is not None:
+            session.tracer.record(
                 hops.EDGE_SNAPSHOT, self.name,
                 session=session.name, snapshot_version=version,
                 size=len(items),
@@ -368,6 +402,11 @@ class PubsubEdgeFrontend:
         self.up = True
         self.topic = broker.topic(topic)
         self.sessions: Dict[str, ClientSession] = {}
+        self.table = SessionTable(
+            sim,
+            drain_interval=config.drain_interval,
+            sampler=TraceSampler(config.trace_sample),
+        )
         self.connects = 0
         self.catchups_served = 0
         self.events_ingested = 0
@@ -446,10 +485,12 @@ class PubsubEdgeFrontend:
         if not self.up:
             raise RuntimeError(f"frontend {self.name} is down")
         self.connects += 1
+        tracer = self.tracer if self.table.sampler.keep(self.connects - 1) else None
         session = ClientSession(
             self.sim, f"{self.name}/{client.name}", client,
             key_range=client.key_range, config=self.config.session,
-            on_closed=self._session_closed, tracer=self.tracer,
+            on_closed=self._session_closed, tracer=tracer,
+            table=self.table,
         )
         offsets = dict(client.offsets)
         for log in self.topic.partitions:
@@ -462,8 +503,8 @@ class PubsubEdgeFrontend:
         session.staleness_at_connect = staleness
         client.staleness_at_connect.append(staleness)
         self.sessions[client.name] = session
-        if self.tracer is not None:
-            self.tracer.record(
+        if session.tracer is not None:
+            session.tracer.record(
                 hops.EDGE_CONNECT, self.name,
                 session=session.name, client=client.name,
                 mode="replay" if staleness else "live", staleness=staleness,

@@ -25,16 +25,26 @@ Every offered update ends in exactly one bucket — delivered, coalesced,
 dropped, returned-to-cursor (queued at close, re-servable via the
 cursor), or still queued — so ``attributed == offered`` is an invariant
 E11 asserts as its 100%-attribution acceptance bar.
+
+Scale notes (E14, 100k-1M sessions; see ``docs/scale.md``): sessions
+are ``__slots__``-only, conservation counters live in the shared
+:class:`~repro.edge.session_table.SessionTable` columns indexed by the
+session's slot id (read back here through properties), the queue is a
+plain list with a head offset (an empty ``deque`` alone costs ~0.6KB),
+and the coalesce cell map is allocated only under the COALESCE policy.
+A closed session snapshots its counters into ``_final`` before
+returning its slot, so post-close reads (EdgeClient folds counters at
+close) still see them after the slot is recycled.
 """
 
 from __future__ import annotations
 
-from collections import deque
 from dataclasses import dataclass
 from enum import Enum
-from typing import Any, Callable, Deque, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from repro._types import Key, KeyRange, Version
+from repro.edge.session_table import SessionTable
 from repro.obs.trace import hops
 from repro.sim.kernel import Simulation
 
@@ -70,21 +80,58 @@ class SessionConfig:
             raise ValueError("delivery_latency must be >= 0")
 
 
-@dataclass(frozen=True)
 class Update:
     """One update offered to a session, from either pipeline.
 
     Watch updates carry the MVCC commit version; pubsub updates also
     carry their partition/offset so the client can advance its offset
     cursor.
+
+    A ``__slots__`` value object rather than a frozen dataclass: the
+    edge hot path builds one per fanned-out event, and the frozen
+    dataclass's ``object.__setattr__``-per-field construction dominated
+    the offer path at E14 scale.  Field set, construction signature,
+    equality, and repr match the previous dataclass exactly.
     """
 
-    key: Key
-    version: Version
-    value: Any = None
-    is_delete: bool = False
-    partition: Optional[int] = None
-    offset: Optional[int] = None
+    __slots__ = ("key", "version", "value", "is_delete", "partition", "offset")
+
+    def __init__(
+        self,
+        key: Key,
+        version: Version,
+        value: Any = None,
+        is_delete: bool = False,
+        partition: Optional[int] = None,
+        offset: Optional[int] = None,
+    ) -> None:
+        self.key = key
+        self.version = version
+        self.value = value
+        self.is_delete = is_delete
+        self.partition = partition
+        self.offset = offset
+
+    def _astuple(self):
+        return (
+            self.key, self.version, self.value,
+            self.is_delete, self.partition, self.offset,
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if other.__class__ is not Update:
+            return NotImplemented
+        return self._astuple() == other._astuple()  # type: ignore[union-attr]
+
+    def __hash__(self) -> int:
+        return hash(self._astuple())
+
+    def __repr__(self) -> str:
+        return (
+            f"Update(key={self.key!r}, version={self.version!r}, "
+            f"value={self.value!r}, is_delete={self.is_delete!r}, "
+            f"partition={self.partition!r}, offset={self.offset!r})"
+        )
 
 
 @dataclass(frozen=True)
@@ -95,8 +142,26 @@ class SnapshotDelivery:
     items: Dict[Key, Any]
 
 
+#: _final snapshot indices (set at close; see ClientSession.close)
+_F_OFFERED, _F_DELIVERED, _F_COALESCED, _F_DROPPED = range(4)
+_F_RETURNED, _F_SNAPSHOTS, _F_PEAK = 4, 5, 6
+
+#: compact the queue's consumed head once it is this long and at least
+#: half the list (amortized O(1), bounds idle memory after bursts)
+_QHEAD_COMPACT = 512
+
+
 class ClientSession:
     """One connected client on one frontend: queue, credits, policy."""
+
+    __slots__ = (
+        "sim", "name", "client", "key_range", "config", "tracer",
+        "table", "sid", "_shared", "_on_closed", "_policy", "_max_queue",
+        "_delivery_latency", "_queue", "_qhead", "_cells", "credits",
+        "_draining", "_active", "close_reason", "staleness_at_connect",
+        "live", "expected_offsets", "_feed_handle", "_deliver_cb",
+        "_final",
+    )
 
     def __init__(
         self,
@@ -107,6 +172,7 @@ class ClientSession:
         config: Optional[SessionConfig] = None,
         on_closed: Optional[Callable[["ClientSession", str], None]] = None,
         tracer=None,
+        table: Optional[SessionTable] = None,
     ) -> None:
         self.sim = sim
         self.name = name
@@ -114,15 +180,23 @@ class ClientSession:
         self.key_range = key_range
         self.config = config or SessionConfig()
         self.tracer = tracer
+        #: standalone sessions get a private table; frontends share one
+        self.table = table if table is not None else SessionTable()
+        self.sid = self.table.attach(self)
+        self._shared = self.table.shared_drain
         self._on_closed = on_closed
         self._policy = self.config.policy
         self._max_queue = self.config.max_queue
         self._delivery_latency = self.config.delivery_latency
         #: queue entries are single-slot cells ``[Update]`` (so coalesce
-        #: can swap in a newer value in place) or SnapshotDelivery
-        self._queue: Deque[object] = deque()
-        #: COALESCE only: pending cell per key
-        self._cells: Dict[Key, List[Update]] = {}
+        #: can swap in a newer value in place) or SnapshotDelivery;
+        #: consumed entries are None'd behind ``_qhead``
+        self._queue: List[object] = []
+        self._qhead = 0
+        #: COALESCE only: pending cell per key (None otherwise)
+        self._cells: Optional[Dict[Key, List[Update]]] = (
+            {} if self._policy is SlowConsumerPolicy.COALESCE else None
+        )
         self.credits = self.config.initial_credits
         self._draining = False
         self._active = True
@@ -133,16 +207,11 @@ class ClientSession:
         self.live = True
         self.expected_offsets: Dict[int, int] = {}
         self._feed_handle = None
-        # conservation accounting: every offered update lands in exactly
-        # one of delivered / coalesced / dropped / returned_to_cursor /
-        # still-queued
-        self.offered = 0
-        self.delivered = 0
-        self.coalesced = 0
-        self.dropped = 0
-        self.returned_to_cursor = 0
-        self.snapshots_delivered = 0
-        self.peak_queue = 0
+        #: pre-bound so the hot drain path posts without allocating a
+        #: bound method per event
+        self._deliver_cb = self._deliver_next
+        #: counters snapshot taken at close, before the slot is recycled
+        self._final: Optional[tuple] = None
 
     # ------------------------------------------------------------------
     # producer side (frontends call these)
@@ -163,24 +232,28 @@ class ClientSession:
         per update.
         """
         kick = False
+        inner = self._offer_inner
         for update in updates:
             if not self._active:
                 return
-            if self._offer_inner(update):
+            if inner(update):
                 kick = True
         if kick:
             self._kick()
 
     def _offer_inner(self, update: Update) -> bool:
         """Apply policy and queue one update; True if a kick is due."""
-        self.offered += 1
+        table = self.table
+        sid = self.sid
+        table.offered[sid] += 1
         queue = self._queue
-        if self._policy is SlowConsumerPolicy.COALESCE:
-            cell = self._cells.get(update.key)
+        cells = self._cells
+        if cells is not None:
+            cell = cells.get(update.key)
             if cell is not None:
                 superseded = cell[0]
                 cell[0] = update
-                self.coalesced += 1
+                table.coalesced[sid] += 1
                 if self.tracer is not None:
                     self.tracer.record(
                         hops.EDGE_COALESCE, self.name,
@@ -188,43 +261,49 @@ class ClientSession:
                         session=self.name, superseded_by=update.version,
                     )
                 return False
-        if len(queue) >= self._max_queue:
+        if len(queue) - self._qhead >= self._max_queue:
             if self._policy is SlowConsumerPolicy.DISCONNECT:
                 # the triggering update was never queued; the client's
                 # cursor has not passed it, so reconnect re-serves it
-                self.returned_to_cursor += 1
+                table.returned[sid] += 1
                 self.close("slow-consumer")
                 return False
             self._drop_oldest()
         cell = [update]
         queue.append(cell)
-        if self._policy is SlowConsumerPolicy.COALESCE:
-            self._cells[update.key] = cell
-        if len(queue) > self.peak_queue:
-            self.peak_queue = len(queue)
+        if cells is not None:
+            cells[update.key] = cell
+        depth = len(queue) - self._qhead
+        if depth > table.peak_queue[sid]:
+            table.peak_queue[sid] = depth
         return True
 
     def offer_snapshot(self, version: Version, items: Dict[Key, Any]) -> None:
         """Enqueue a full re-serve (not subject to the queue bound)."""
         if not self._active:
             return
-        self._queue.append(SnapshotDelivery(version, dict(items)))
-        if len(self._queue) > self.peak_queue:
-            self.peak_queue = len(self._queue)
+        queue = self._queue
+        queue.append(SnapshotDelivery(version, dict(items)))
+        table = self.table
+        depth = len(queue) - self._qhead
+        if depth > table.peak_queue[self.sid]:
+            table.peak_queue[self.sid] = depth
         self._kick()
 
     def _drop_oldest(self) -> None:
         # oldest *update* — a queued snapshot (only ever near the head)
         # is never shed, or the client's state would silently diverge
         queue = self._queue
-        for idx, item in enumerate(queue):
+        cells = self._cells
+        for idx in range(self._qhead, len(queue)):
+            item = queue[idx]
             if item.__class__ is SnapshotDelivery:
                 continue
             victim = item[0]
             del queue[idx]
-            if self._cells.get(victim.key) is item:
-                del self._cells[victim.key]
-            self.dropped += 1
+            if cells is not None and cells.get(victim.key) is item:
+                del cells[victim.key]
+            self.table.dropped[self.sid] += 1
             if self.tracer is not None:
                 self.tracer.record(
                     hops.EDGE_DROP, self.name,
@@ -246,27 +325,42 @@ class ClientSession:
     def _kick(self) -> None:
         if (
             self._active
-            and not self._draining
             and self.credits > 0
-            and self._queue
+            and len(self._queue) > self._qhead
         ):
-            self._draining = True
-            self.sim.post(self._delivery_latency, self._deliver_next)
+            if self._shared:
+                # O(active) shared drain: join the table's ready list;
+                # the pump delivers one item per ready session per tick
+                self.table.enqueue_ready(self.sid)
+            elif not self._draining:
+                self._draining = True
+                self.sim.post(self._delivery_latency, self._deliver_cb)
 
     def _deliver_next(self) -> None:
         self._draining = False
-        if not self._active or self.credits <= 0 or not self._queue:
+        queue = self._queue
+        head = self._qhead
+        if not self._active or self.credits <= 0 or len(queue) <= head:
             return
-        item = self._queue.popleft()
+        item = queue[head]
+        queue[head] = None
+        head += 1
+        if head >= _QHEAD_COMPACT and head * 2 >= len(queue):
+            del queue[:head]
+            head = 0
+        self._qhead = head
         self.credits -= 1
+        table = self.table
+        sid = self.sid
         if item.__class__ is SnapshotDelivery:
-            self.snapshots_delivered += 1
+            table.snapshots[sid] += 1
             self.client.on_delivery(self, item)
         else:
             update = item[0]
-            if self._cells.get(update.key) is item:
-                del self._cells[update.key]
-            self.delivered += 1
+            cells = self._cells
+            if cells is not None and cells.get(update.key) is item:
+                del cells[update.key]
+            table.delivered[sid] += 1
             if self.tracer is not None:
                 self.tracer.record(
                     hops.EDGE_DELIVER, self.name,
@@ -287,16 +381,30 @@ class ClientSession:
 
         The client's durable cursor has only advanced past *delivered*
         items, so everything still queued will be re-served by reconnect
-        catch-up — closed sessions lose nothing.
+        catch-up — closed sessions lose nothing.  Counters are
+        snapshotted into ``_final`` and the table slot is released
+        before the close callbacks run, so callbacks (EdgeClient folds
+        totals here) read stable values even if the slot is reused by a
+        reconnect inside the callback.
         """
         if not self._active:
             return
         self._active = False
         self.close_reason = reason
         returned = self.queued_updates
-        self.returned_to_cursor += returned
+        table = self.table
+        sid = self.sid
+        table.returned[sid] += returned
+        self._final = (
+            table.offered[sid], table.delivered[sid], table.coalesced[sid],
+            table.dropped[sid], table.returned[sid], table.snapshots[sid],
+            table.peak_queue[sid],
+        )
+        table.release(sid)
         self._queue.clear()
-        self._cells.clear()
+        self._qhead = 0
+        if self._cells is not None:
+            self._cells.clear()
         if self.tracer is not None:
             self.tracer.record(
                 hops.EDGE_DISCONNECT, self.name,
@@ -307,17 +415,55 @@ class ClientSession:
         self.client.on_session_closed(self, reason)
 
     # ------------------------------------------------------------------
-    # accounting
+    # accounting (live sessions read table columns; closed read _final)
+
+    @property
+    def offered(self) -> int:
+        f = self._final
+        return f[_F_OFFERED] if f is not None else self.table.offered[self.sid]
+
+    @property
+    def delivered(self) -> int:
+        f = self._final
+        return f[_F_DELIVERED] if f is not None else self.table.delivered[self.sid]
+
+    @property
+    def coalesced(self) -> int:
+        f = self._final
+        return f[_F_COALESCED] if f is not None else self.table.coalesced[self.sid]
+
+    @property
+    def dropped(self) -> int:
+        f = self._final
+        return f[_F_DROPPED] if f is not None else self.table.dropped[self.sid]
+
+    @property
+    def returned_to_cursor(self) -> int:
+        f = self._final
+        return f[_F_RETURNED] if f is not None else self.table.returned[self.sid]
+
+    @property
+    def snapshots_delivered(self) -> int:
+        f = self._final
+        return f[_F_SNAPSHOTS] if f is not None else self.table.snapshots[self.sid]
+
+    @property
+    def peak_queue(self) -> int:
+        f = self._final
+        return f[_F_PEAK] if f is not None else self.table.peak_queue[self.sid]
 
     @property
     def queued_updates(self) -> int:
         """Updates queued but not yet delivered (snapshots excluded)."""
         queue = self._queue
-        return sum(1 for item in queue if item.__class__ is not SnapshotDelivery)
+        return sum(
+            1 for i in range(self._qhead, len(queue))
+            if queue[i].__class__ is not SnapshotDelivery
+        )
 
     @property
     def backlog(self) -> int:
-        return len(self._queue)
+        return len(self._queue) - self._qhead
 
     @property
     def attributed(self) -> int:

@@ -30,7 +30,7 @@ simulation events — determinism is untouched.
 from repro.obs.eventlog import EventLog, TraceEvent
 from repro.obs.index import LossRecord, TraceIndex
 from repro.obs.profiler import SimProfiler
-from repro.obs.trace import Span, TraceContext, Tracer, hops
+from repro.obs.trace import Span, TraceContext, Tracer, TraceSampler, hops
 
 __all__ = [
     "EventLog",
@@ -40,6 +40,7 @@ __all__ = [
     "TraceContext",
     "TraceEvent",
     "TraceIndex",
+    "TraceSampler",
     "Tracer",
     "hops",
 ]

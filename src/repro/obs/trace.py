@@ -110,6 +110,33 @@ def payload_version(payload: Any) -> Optional[int]:
     return None
 
 
+class TraceSampler:
+    """Deterministic per-session trace sampling for edge scale.
+
+    At E14 scale (100k-1M sessions) tracing every delivery would
+    dominate run memory, so the edge session table samples *sessions*,
+    not events: a session is either fully traced or carries
+    ``tracer=None`` and skips every tracing branch.  Sampling by
+    ``sid % every`` is deterministic (no RNG draw — the schedule is
+    untouched) and stable across runs, and sampling whole sessions
+    keeps each sampled delivery chain complete for latency analysis.
+
+    ``every=1`` (the default) traces everything — existing experiments
+    stay byte-identical.
+    """
+
+    __slots__ = ("every",)
+
+    def __init__(self, every: int = 1) -> None:
+        if every < 1:
+            raise ValueError("sample rate must be >= 1")
+        self.every = every
+
+    def keep(self, index: int) -> bool:
+        """Whether the session occupying slot ``index`` is traced."""
+        return index % self.every == 0
+
+
 class Span:
     """A timed hop: opened now, one event emitted at :meth:`end`.
 

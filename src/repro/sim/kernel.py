@@ -31,6 +31,12 @@ Hot-path design (see ``docs/performance.md``):
   live-event counter keeps :attr:`Simulation.pending_events` O(1), and
   the heap is compacted when tombstones dominate it (resilience timers
   cancel constantly and would otherwise accumulate until drained).
+- Non-zero delays within the horizon go to a hierarchical
+  :class:`~repro.sim.timerwheel.TimerWheel` instead of the heap: O(1)
+  insert/cancel, so a million idle-session timers cost nothing until
+  they fire (see ``docs/scale.md``).  The run loop merges the wheel's
+  ready heap as a third lane by the same global ``(time, seq)`` order,
+  so firing order — and therefore every trace byte — is unchanged.
 """
 
 from __future__ import annotations
@@ -41,6 +47,7 @@ import random
 from typing import Any, Callable, Deque, Generator, Iterable, List, Optional
 
 from repro.sim.clock import VirtualClock
+from repro.sim.timerwheel import TimerWheel
 
 #: indices into an event entry [time, seq, fn, label, cancelled]
 _TIME, _SEQ, _FN, _LABEL, _CANCELLED = range(5)
@@ -201,6 +208,9 @@ class Simulation:
         #: FIFO fast lane for zero-delay events; entries are in
         #: nondecreasing (time, seq) order by construction
         self._fast: Deque[List[Any]] = deque()
+        #: O(1)-insert lane for delayed events; the heap remains the
+        #: fallback for out-of-horizon (and behind-the-tick) times
+        self._wheel = TimerWheel(origin=start)
         self._seq = 0
         self._live = 0  # queued non-cancelled events across both lanes
         self._tombstones = 0  # cancelled events still queued
@@ -233,7 +243,12 @@ class Simulation:
         seq = self._seq
         self._seq = seq + 1
         entry = [t, seq, fn, label, False]
-        heapq.heappush(self._heap, entry)
+        wheel = self._wheel
+        # one float compare keeps near timers (the hot path) off the
+        # wheel entirely; _near is monotone, so staleness only over-
+        # routes to the heap — never mis-parks
+        if t < wheel._near or not wheel.insert(entry, self.clock._now):
+            heapq.heappush(self._heap, entry)
         self._live += 1
         return EventHandle(entry, self)
 
@@ -273,7 +288,9 @@ class Simulation:
             t = self.clock._now + delay
             entry = [t, self._seq, fn, label, False]
             self._seq += 1
-            heapq.heappush(self._heap, entry)
+            wheel = self._wheel
+            if t < wheel._near or not wheel.insert(entry, self.clock._now):
+                heapq.heappush(self._heap, entry)
             self._live += 1
             return
         self._seq += 1
@@ -302,12 +319,13 @@ class Simulation:
         self._tombstones += 1
         if (
             self._tombstones >= _COMPACT_MIN_TOMBSTONES
-            and self._tombstones * 2 > len(self._heap) + len(self._fast)
+            and self._tombstones * 2
+            > len(self._heap) + len(self._fast) + self._wheel.size
         ):
             self._compact()
 
     def _compact(self) -> None:
-        """Drop cancelled tombstones from both queues and re-heapify.
+        """Drop cancelled tombstones from all three lanes.
 
         Mutates the queues in place: the run loop holds direct
         references to them.
@@ -320,6 +338,7 @@ class Simulation:
             entry = fast.popleft()
             if not entry[_CANCELLED]:
                 fast.append(entry)
+        self._wheel.compact()
         self._tombstones = 0
 
     # ------------------------------------------------------------------
@@ -393,6 +412,7 @@ class Simulation:
         clock = self.clock
         heap = self._heap
         fast = self._fast
+        wheel = self._wheel
         heappop = heapq.heappop
         prof = self.profiler
         limit = _INF if until is None else until
@@ -409,6 +429,20 @@ class Simulation:
                     while fast and fast[0][_CANCELLED]:
                         fast.popleft()
                         self._tombstones -= 1
+                if wheel._count and wheel._due <= limit:
+                    # parked timers may be due before the queue heads:
+                    # bulk-transfer due wheel slots into the heap first.
+                    # _due (earliest parked slot start) makes the common
+                    # nothing-due case one float compare.
+                    bound = limit
+                    if heap and heap[0][0] < bound:
+                        bound = heap[0][0]
+                    if fast and fast[0][0] < bound:
+                        bound = fast[0][0]
+                    if wheel._due <= bound:
+                        dropped = wheel.advance(bound, heap)
+                        if dropped:
+                            self._tombstones -= dropped
                 use_fast = False
                 if heap:
                     entry = heap[0]
