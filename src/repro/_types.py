@@ -151,3 +151,15 @@ def ranges_cover(ranges: list[KeyRange], target: KeyRange) -> bool:
         if not remaining:
             return True
     return not remaining
+
+
+# wire registration: mutations and ranges ride inside ChangeEvents and
+# publish commands, so the codec must reconstruct real instances.  The
+# import sits here (bottom of module) because repro.sim.wire is pulled
+# in via the repro.sim package, which must finish importing first when
+# something under repro.sim transitively reaches these types.
+from repro.sim.wire import register as _wire_register  # noqa: E402
+
+_wire_register(MutationKind, "types.MutationKind", ("value",), factory=MutationKind)
+_wire_register(Mutation, "types.Mutation", ("kind", "value"))
+_wire_register(KeyRange, "types.KeyRange", ("low", "high"))

@@ -48,3 +48,9 @@ class ProgressEvent:
 
     def covers(self, key: Key) -> bool:
         return self.low <= key < self.high
+
+
+from repro.sim.wire import register as _wire_register  # noqa: E402
+
+_wire_register(ChangeEvent, "core.ChangeEvent", ("key", "mutation", "version"))
+_wire_register(ProgressEvent, "core.ProgressEvent", ("low", "high", "version"))

@@ -33,3 +33,12 @@ class Message:
             f"Message({self.topic}[{self.partition}]@{self.offset} "
             f"key={self.key!r})"
         )
+
+
+from repro.sim.wire import register as _wire_register  # noqa: E402
+
+_wire_register(
+    Message,
+    "pubsub.Message",
+    ("topic", "partition", "offset", "key", "payload", "publish_time"),
+)

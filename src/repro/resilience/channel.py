@@ -57,6 +57,11 @@ from repro.obs.trace import hops
 from repro.sim.kernel import EventHandle, Simulation
 from repro.sim.metrics import MetricsRegistry
 from repro.sim.network import Network
+from repro.sim.wire import (
+    encode as _wire_encode,
+    register as _wire_register,
+    wire_size,
+)
 from repro.resilience.breaker import CircuitBreaker, CircuitBreakerConfig
 from repro.resilience.retry import RetryPolicy
 from repro.transport.batcher import BatchConfig
@@ -93,6 +98,9 @@ class _DataFrame:
     seq: int
     payload: Any
     needs_ack: bool
+    #: wire bytes, cached at first transmit so retransmits reuse one
+    #: encoding (the network measures the cache instead of re-walking)
+    encoded: Optional[bytes] = field(default=None, repr=False, compare=False)
 
 
 @dataclass
@@ -105,6 +113,11 @@ class _GroupPayload:
     """N application payloads coalesced into one wire frame."""
 
     payloads: List[Any]
+
+
+_wire_register(_DataFrame, "channel.Data", ("seq", "payload", "needs_ack"))
+_wire_register(_AckFrame, "channel.Ack", ("seq",))
+_wire_register(_GroupPayload, "channel.Group", ("payloads",))
 
 
 @dataclass
@@ -144,11 +157,9 @@ class _Pending:
     transmitted: bool = False
     on_delivered: Optional[Callable[[], None]] = None
     on_giveup: Optional[Callable[[], None]] = None
-
-
-def _payload_bytes(payload: Any) -> int:
-    """Deterministic size estimate for byte-accounting metrics."""
-    return len(str(payload))
+    #: the wire frame, built (and encoded) once at first transmit and
+    #: reused verbatim by every retransmit
+    frame: Optional[_DataFrame] = None
 
 
 class ReliableChannel:
@@ -359,15 +370,17 @@ class ReliableChannel:
                     # losing this frame means losing n_events messages
                     attrs["n_events"] = len(pending.payload.payloads)
                 self.tracer.record(hops.CHANNEL_TRANSMIT, self.name, **attrs)
+            frame = pending.frame
+            if frame is None:
+                frame = _DataFrame(pending.seq, pending.payload, needs_ack=True)
+                frame.encoded = _wire_encode(frame)
+                pending.frame = frame
             if pending.attempts > 1:
                 self.metrics.counter(self._metric("retransmits")).inc()
                 self.metrics.counter(self._metric("retransmit_bytes")).inc(
-                    _payload_bytes(pending.payload)
+                    wire_size(frame)
                 )
-            self.net.send(
-                self.name, pending.dst,
-                _DataFrame(pending.seq, pending.payload, needs_ack=True),
-            )
+            self.net.send(self.name, pending.dst, frame)
             delay = self.config.retry.backoff(pending.attempts, self.sim.rng)
         pending.timer = self.sim.call_after(
             delay, lambda: self._on_ack_timeout(pending)

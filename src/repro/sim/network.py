@@ -18,6 +18,7 @@ from typing import Any, Callable, Dict, Optional, Set, Tuple
 
 from repro.sim.kernel import Simulation
 from repro.sim.metrics import MetricsRegistry
+from repro.sim.wire import wire_size
 
 
 @dataclass(frozen=True)
@@ -145,30 +146,40 @@ class Network:
         self.metrics.counter("net.sent").inc()
         self.metrics.counter("net.frames.sent").inc()
         self.metrics.counter("net.payload.msgs").inc(payload_message_count(payload))
+        # real wire volume: the frame's encoded byte size, measured once
+        # here and threaded through to the delivered/dropped counters so
+        # every byte sent is accounted exactly once on one outcome
+        nbytes = wire_size(payload)
+        self.metrics.counter("net.bytes.sent").inc(nbytes)
         if self.is_partitioned(src, dst):
-            self._drop(src, dst, payload, "partition")
+            self._drop(src, dst, payload, "partition", nbytes)
             return False
         if self.config.loss_rate > 0 and self.sim.rng.random() < self.config.loss_rate:
-            self._drop(src, dst, payload, "loss")
+            self._drop(src, dst, payload, "loss", nbytes)
             return False
         delay = self.config.base_latency
         if self.config.jitter > 0:
             delay += self.sim.rng.random() * self.config.jitter
-        self.sim.call_after(delay, lambda: self._deliver(src, dst, payload))
+        self.sim.call_after(delay, lambda: self._deliver(src, dst, payload, nbytes))
         return True
 
-    def _deliver(self, src: str, dst: str, payload: Any) -> None:
+    def _deliver(self, src: str, dst: str, payload: Any, nbytes: int = -1) -> None:
+        if nbytes < 0:
+            nbytes = wire_size(payload)
         endpoint = self._endpoints.get(dst)
         if endpoint is None or not endpoint.up:
-            self._drop(src, dst, payload, "down")
+            self._drop(src, dst, payload, "down", nbytes)
             return
         if self.is_partitioned(src, dst):
-            self._drop(src, dst, payload, "partition")
+            self._drop(src, dst, payload, "partition", nbytes)
             return
         self.metrics.counter("net.delivered").inc()
+        self.metrics.counter("net.bytes.delivered").inc(nbytes)
         endpoint.handler(src, payload)
 
-    def _drop(self, src: str, dst: str, payload: Any, cause: str) -> None:
+    def _drop(
+        self, src: str, dst: str, payload: Any, cause: str, nbytes: int = -1
+    ) -> None:
         """Account one dropped message — exactly once per drop.
 
         Every drop path (send-time partition/loss, delivery-time
@@ -176,9 +187,13 @@ class Network:
         refused at ``send`` is never re-counted at ``_deliver`` and vice
         versa: ``send`` returns False without scheduling delivery, and a
         scheduled message can only be dropped by the delivery-time
-        checks.
+        checks.  Byte counters mirror the message funnel: the frame's
+        size lands on ``net.bytes.dropped.{cause}`` exactly once.
         """
+        if nbytes < 0:
+            nbytes = wire_size(payload)
         self.metrics.counter(f"net.dropped.{cause}").inc()
+        self.metrics.counter(f"net.bytes.dropped.{cause}").inc(nbytes)
         if self.tracer is None:
             return
         self.tracer.record(

@@ -22,6 +22,7 @@ from typing import Any, Callable, Dict, List, Optional
 from repro.sim.kernel import Simulation
 from repro.sim.metrics import MetricsRegistry
 from repro.sim.network import Network, payload_message_count
+from repro.sim.wire import encode as _wire_encode, register as _wire_register
 from repro.obs.trace import Tracer, hops
 
 
@@ -59,9 +60,41 @@ class Frame:
 
     seq: int
     payloads: List[Any] = field(default_factory=list)
+    #: wire bytes, cached at flush time so the network measures the frame
+    #: without re-encoding (encode once, deliver/drop against the cache)
+    encoded: Optional[bytes] = field(default=None, repr=False, compare=False)
 
     def __len__(self) -> int:
         return len(self.payloads)
+
+
+_wire_register(Frame, "transport.Frame", ("seq", "payloads"))
+
+# slab of spent frames: the steady-state batched hot path reuses frame
+# shells (and their payload lists) instead of allocating one per flush
+_FRAME_POOL: List[Frame] = []
+_FRAME_POOL_MAX = 1024
+
+
+def _acquire_frame(seq: int) -> Frame:
+    if _FRAME_POOL:
+        frame = _FRAME_POOL.pop()
+        frame.seq = seq
+        return frame
+    return Frame(seq=seq)
+
+
+def release_frame(frame: Frame) -> None:
+    """Return a delivered frame to the slab for reuse.
+
+    Safe only once the frame has left the wire: the :class:`Unbatcher`
+    calls this after unpacking (dropped frames are simply garbage
+    collected — the network holds no reference after the drop).
+    """
+    if len(_FRAME_POOL) < _FRAME_POOL_MAX:
+        frame.payloads.clear()
+        frame.encoded = None
+        _FRAME_POOL.append(frame)
 
 
 # canonical implementation lives next to the counting layer
@@ -105,7 +138,7 @@ class BatchingSender:
         if frame is None:
             seq = self._next_seq.get(dst, 0)
             self._next_seq[dst] = seq + 1
-            frame = Frame(seq=seq)
+            frame = _acquire_frame(seq)
             self._open[dst] = frame
             self._opened_at[dst] = self.sim.now()
             self.sim.post(
@@ -137,6 +170,7 @@ class BatchingSender:
         if self.metrics is not None:
             self.metrics.counter(f"{self.name}.frames").inc()
             self.metrics.counter(f"{self.name}.framed_msgs").inc(len(frame))
+        frame.encoded = _wire_encode(frame)
         self.net.send(self.src, dst, frame)
 
     def flush_all(self) -> None:
@@ -166,5 +200,7 @@ class Unbatcher:
         if isinstance(payload, Frame):
             for message in payload.payloads:
                 self._handler(src, message)
+            # the frame has served its wire purpose; recycle the shell
+            release_frame(payload)
         else:
             self._handler(src, payload)

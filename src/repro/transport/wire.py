@@ -1,0 +1,28 @@
+"""Transport-facing alias for the wire codec.
+
+The codec itself lives in :mod:`repro.sim.wire` so the network layer can
+import it without a ``repro.sim`` → ``repro.transport`` cycle (this
+package's ``__init__`` pulls in the batcher, which imports the network).
+Transport code and tests import it from here, next to the framing types
+it encodes.
+"""
+
+from repro.sim.wire import (
+    CallableRef,
+    Opaque,
+    WireError,
+    decode,
+    encode,
+    register,
+    wire_size,
+)
+
+__all__ = [
+    "CallableRef",
+    "Opaque",
+    "WireError",
+    "decode",
+    "encode",
+    "register",
+    "wire_size",
+]

@@ -111,3 +111,19 @@ def test_seed_changes_outcomes():
     a = _rows(e6b_reconcile.run(seed=1, **base))
     b = _rows(e6b_reconcile.run(seed=2, **base))
     assert a != b
+
+
+def test_e15_replays_identically():
+    # frame fills, linger flushes, loss draws, and retransmit backoff
+    # all ride the sim clock and seeded RNG: the grid must replay
+    # exactly, byte counters included
+    params = dict(
+        pipelines=("pubsub", "watch"),
+        rates_rps=(50.0, 200.0), batch_sizes=(1, 8),
+        fanout=2, num_keys=32, duration=4.0, drain=5.0, seed=53,
+    )
+    from repro.bench.experiments import e15_broker_batch_sweep
+
+    assert _rows(e15_broker_batch_sweep.run(**params)) == _rows(
+        e15_broker_batch_sweep.run(**params)
+    )

@@ -20,6 +20,7 @@ from repro.bench.experiments import (
     e11_edge_storm,
     e12_batching,
     e13_reconcile_chaos,
+    e15_broker_batch_sweep,
 )
 
 
@@ -153,6 +154,13 @@ def test_e12_smoke():
     # a dropped fire-and-forget frame attributes all N records
     fireforget = next(r for r in rows if "fireforget" in r["config"])
     assert fireforget["wire_lost"] == fireforget["lost_attributed"] > 0
+    # byte conservation: every encoded byte put on the wire lands on
+    # exactly one outcome counter (the drop funnel counts bytes once)
+    for row in result.table("wire bytes").rows:
+        assert row["bytes_sent"] == (
+            row["bytes_delivered"] + row["bytes_dropped"]
+        ), row["config"]
+        assert row["bytes_per_frame"] > 0
 
 
 def test_e13_smoke():
@@ -176,3 +184,26 @@ def test_e13_smoke():
             assert row["unrepaired"] == 0
         else:
             assert row["repaired"] == 0
+
+
+def test_e15_smoke():
+    result = e15_broker_batch_sweep.run(
+        pipelines=("pubsub", "watch"),
+        rates_rps=(50.0, 250.0), batch_sizes=(1, 8),
+        fanout=2, num_keys=32, duration=4.0, drain=6.0,
+    )
+    table = result.table("batch sweep")
+    # the full (pipeline, rate, batch) grid is present
+    assert len(table.rows) == 2 * 2 * 2
+    pubsub = [r for r in table.rows if r["config"] == "pubsub"]
+    hot = [r for r in pubsub if r["rate_rps"] == 250.0]
+    unbatched = next(r for r in hot if r["batch"] == 1)
+    batched = next(r for r in hot if r["batch"] == 8)
+    # the saturation knee: past the dispatch-bound rate the unbatched
+    # cell queues (latency explodes), the batched cell keeps up
+    assert unbatched["e2e_p50_ms"] > 4 * batched["e2e_p50_ms"]
+    assert batched["applied"] == unbatched["applied"] > 0
+    # batching amortizes the wire: fuller, bigger frames
+    assert batched["frames"] < unbatched["frames"]
+    assert batched["msgs_per_frame"] > 1.0
+    assert batched["bytes_per_frame"] > unbatched["bytes_per_frame"]
