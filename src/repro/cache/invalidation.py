@@ -56,6 +56,7 @@ def _networked_cdc(
     resilience: Optional[ChannelConfig],
     tracer=None,
     group_commit: bool = False,
+    causal_index=None,
 ) -> tuple:
     """Build the CDC→broker path across the simulated network.
 
@@ -74,6 +75,7 @@ def _networked_cdc(
         sim, store.history, broker, topic, publish_fn=remote.publish,
         tracer=tracer,
         group_commit=group_commit, publish_batch_fn=remote.publish_batch,
+        causal_index=causal_index,
     )
     return publisher, remote
 
@@ -191,6 +193,9 @@ class PubsubInvalidationPipeline:
         batch_overhead: float = 0.0,
         group_commit: bool = False,
         service_time: float = 0.0005,
+        delivery_mode: str = "fifo",
+        causal_hold: float = 0.25,
+        causal_index=None,
     ) -> None:
         self.sim = sim
         self.store = store
@@ -220,12 +225,12 @@ class PubsubInvalidationPipeline:
         if network is not None:
             self.publisher, self.remote_publisher = _networked_cdc(
                 sim, store, broker, topic, network, resilience, tracer=tracer,
-                group_commit=group_commit,
+                group_commit=group_commit, causal_index=causal_index,
             )
         else:
             self.publisher = CdcPublisher(
                 sim, store.history, broker, topic, tracer=tracer,
-                group_commit=group_commit,
+                group_commit=group_commit, causal_index=causal_index,
             )
         self.group = broker.consumer_group(
             topic,
@@ -234,6 +239,8 @@ class PubsubInvalidationPipeline:
                 routing=routing,
                 ack_timeout=ack_timeout,
                 max_delivery_batch=delivery_batch,
+                delivery_mode=delivery_mode,
+                causal_hold=causal_hold,
             ),
         )
         self._consumers: Dict[str, Consumer] = {}
@@ -288,6 +295,9 @@ class PubsubInvalidationPipeline:
         batch_overhead: float = 0.0,
         group_commit: bool = False,
         service_time: float = 0.0005,
+        delivery_mode: str = "fifo",
+        causal_hold: float = 0.25,
+        causal_index=None,
     ) -> "FreeInvalidationPipeline":
         """Build the free-consumer variant instead (§3.2.2 fallback)."""
         return FreeInvalidationPipeline(
@@ -295,6 +305,8 @@ class PubsubInvalidationPipeline:
             network=network, resilience=resilience, tracer=tracer,
             delivery_batch=delivery_batch, batch_overhead=batch_overhead,
             group_commit=group_commit, service_time=service_time,
+            delivery_mode=delivery_mode, causal_hold=causal_hold,
+            causal_index=causal_index,
         )
 
 
@@ -321,6 +333,9 @@ class FreeInvalidationPipeline:
         batch_overhead: float = 0.0,
         group_commit: bool = False,
         service_time: float = 0.0005,
+        delivery_mode: str = "fifo",
+        causal_hold: float = 0.25,
+        causal_index=None,
     ) -> None:
         self.sim = sim
         self.nodes = nodes
@@ -329,12 +344,12 @@ class FreeInvalidationPipeline:
         if network is not None:
             self.publisher, self.remote_publisher = _networked_cdc(
                 sim, store, broker, topic, network, resilience, tracer=tracer,
-                group_commit=group_commit,
+                group_commit=group_commit, causal_index=causal_index,
             )
         else:
             self.publisher = CdcPublisher(
                 sim, store.history, broker, topic, tracer=tracer,
-                group_commit=group_commit,
+                group_commit=group_commit, causal_index=causal_index,
             )
         self._consumers: List[Consumer] = []
         for node in nodes:
@@ -367,6 +382,8 @@ class FreeInvalidationPipeline:
                 SubscriptionConfig(
                     routing=RoutingPolicy.RANDOM,
                     max_delivery_batch=delivery_batch,
+                    delivery_mode=delivery_mode,
+                    causal_hold=causal_hold,
                 ),
             )
             sharder.subscribe(node.on_assignment)

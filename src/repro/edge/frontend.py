@@ -30,10 +30,12 @@ further behind (or below the retained floor) gets a snapshot re-serve
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, Optional
 
 from repro._types import KeyRange, Version
+from repro.causal.buffer import CausalBuffer, CausalBufferConfig
+from repro.causal.stamp import StampIndex
 from repro.core.api import WatchCallback
 from repro.core.linked_cache import LinkedCacheConfig, SnapshotUnavailable
 from repro.core.relay import (
@@ -110,6 +112,15 @@ class EdgeFrontendConfig:
     #: (the frontend tracks knowledge centrally via the relay).  True
     #: (default) keeps the subscribed schedule byte-identical.
     feed_progress: bool = True
+    #: ``"fifo"`` (default) offers updates to sessions in arrival order.
+    #: ``"causal"`` gates each session's feed through its own
+    #: :class:`~repro.causal.buffer.CausalBuffer` (range-filtered,
+    #: floored at the session's catch-up point), so a client never
+    #: observes an update before an in-range update it causally depends
+    #: on — bounded by ``causal_hold``.  See docs/causal.md.
+    delivery_mode: str = "fifo"
+    #: Bounded-hold deadline (seconds) for causal mode.
+    causal_hold: float = 0.25
 
     def __post_init__(self) -> None:
         if self.catchup_threshold < 0:
@@ -118,6 +129,10 @@ class EdgeFrontendConfig:
             raise ValueError("replay_batch must be >= 1")
         if self.drain_interval is not None and self.drain_interval < 0:
             raise ValueError("drain_interval must be >= 0")
+        if self.delivery_mode not in ("fifo", "causal"):
+            raise ValueError("delivery_mode must be 'fifo' or 'causal'")
+        if self.causal_hold <= 0:
+            raise ValueError("causal_hold must be positive")
 
 
 class _SessionFeed(WatchCallback):
@@ -129,7 +144,11 @@ class _SessionFeed(WatchCallback):
 
     __slots__ = ("frontend", "session", "_buffer", "_gen")
 
-    def __init__(self, frontend: "WatchEdgeFrontend", session: ClientSession):
+    def __init__(
+        self,
+        frontend: "WatchEdgeFrontend",
+        session: ClientSession,
+    ):
         self.frontend = frontend
         self.session = session
         self._buffer: list = []
@@ -143,6 +162,9 @@ class _SessionFeed(WatchCallback):
             value=mutation.value,
             is_delete=mutation.is_delete,
         )
+        self._offer(update)
+
+    def _offer(self, update: Update) -> None:
         batch = self.frontend.config.feed_batch
         if batch is None:
             self.session.offer(update)
@@ -175,6 +197,41 @@ class _SessionFeed(WatchCallback):
         self.frontend._feed_resynced(self.session)
 
 
+class _CausalSessionFeed(_SessionFeed):
+    """Feed with a causal gate ahead of the session queue.
+
+    A subclass rather than an optional slot on ``_SessionFeed`` so the
+    fifo-mode feed keeps its exact object size — the per-session memory
+    accounting (E14, docs/scale.md) measures the feed object, and the
+    causal tier must cost nothing when it is off.
+    """
+
+    __slots__ = ("causal",)
+
+    def __init__(
+        self,
+        frontend: "WatchEdgeFrontend",
+        session: ClientSession,
+        causal: CausalBuffer,
+    ):
+        super().__init__(frontend, session)
+        self.causal = causal
+
+    def on_event(self, event) -> None:
+        mutation = event.mutation
+        update = Update(
+            key=event.key,
+            version=event.version,
+            value=mutation.value,
+            is_delete=mutation.is_delete,
+        )
+        stamp = self.frontend._stamp_for(event.key, event.version)
+        self.causal.submit(
+            event.key, event.version, stamp,
+            lambda: self._offer(update),
+        )
+
+
 class WatchEdgeFrontend:
     """Watch-pipeline frontend: relay replica + client sessions."""
 
@@ -191,12 +248,29 @@ class WatchEdgeFrontend:
         fanout_config: Optional[WatchSystemConfig] = None,
         metrics: Optional[MetricsRegistry] = None,
         tracer=None,
+        causal_index: Optional[StampIndex] = None,
     ) -> None:
         self.sim = sim
         self.name = name
         self.config = config or EdgeFrontendConfig()
         self.tracer = tracer
         self.up = True
+        #: causal mode disables per-key supersession: coalescing hands
+        #: the superseding update the queue position of the one it
+        #: replaced — a reorder that jumps it ahead of its own causal
+        #: deps (and starves deps out of *their* position) — see
+        #: SessionConfig.coalesce
+        self._session_config = self.config.session
+        if (
+            self.config.delivery_mode == "causal"
+            and self._session_config.coalesce
+        ):
+            self._session_config = replace(
+                self._session_config, coalesce=False
+            )
+        #: per-session causal gates (causal mode only); kept for
+        #: experiment accounting — held depth, deadline releases
+        self.causal_buffers: list = []
         self.sessions: Dict[str, ClientSession] = {}
         self.table = SessionTable(
             sim,
@@ -218,22 +292,30 @@ class WatchEdgeFrontend:
 
         if net is not None:
             # source stream crosses the wire: upstream -> reliable link
-            # -> endpoint -> local ingest watch system -> relay
+            # -> endpoint -> local ingest watch system -> relay.  With a
+            # causal index, stamps ride the event frames (their bytes
+            # land in net.bytes.*) and the endpoint rebuilds a local
+            # index for the session gates to read.
+            local_index = StampIndex() if causal_index is not None else None
             self._ingest = WatchSystem(sim, name=f"{name}-ingest", tracer=tracer)
             self.endpoint = ReliableFanoutEndpoint(
                 sim, net, f"{name}-ep", self._ingest,
                 config=channel_config, metrics=metrics, tracer=tracer,
+                causal_index=local_index,
             )
             self.link = ReliableFanoutLink(
                 sim, upstream, net, f"{name}-uplink", f"{name}-ep",
                 config=channel_config, metrics=metrics, tracer=tracer,
+                causal_index=causal_index,
             )
             relay_upstream = self._ingest
+            self._causal_index = local_index
         else:
             self._ingest = None
             self.endpoint = None
             self.link = None
             relay_upstream = upstream
+            self._causal_index = causal_index
         self.relay = WatchRelay(
             sim, relay_upstream, counted_snapshot_fn, KeyRange.all(),
             config=relay_config, fanout_config=fanout_config,
@@ -256,7 +338,7 @@ class WatchEdgeFrontend:
         tracer = self.tracer if self.table.sampler.keep(self.connects - 1) else None
         session = ClientSession(
             self.sim, f"{self.name}/{client.name}", client,
-            key_range=client.key_range, config=self.config.session,
+            key_range=client.key_range, config=self._session_config,
             on_closed=self._session_closed, tracer=tracer,
             table=self.table,
         )
@@ -286,8 +368,30 @@ class WatchEdgeFrontend:
             self._schedule_snapshot(session)
         return session
 
+    def _stamp_for(self, key, version):
+        if self._causal_index is None:
+            return None
+        return self._causal_index.lookup(key, version)
+
     def _attach_feed(self, session: ClientSession, from_version: Version) -> None:
-        feed = _SessionFeed(self, session)
+        causal = None
+        if self.config.delivery_mode == "causal":
+            # floor at the catch-up point: deps the client already holds
+            # (snapshot version / resume cursor) count as observed
+            causal = CausalBuffer(
+                self.sim,
+                CausalBufferConfig(hold_deadline=self.config.causal_hold),
+                name=f"{self.name}/{session.client.name}",
+                in_range=session.key_range.contains,
+                tracer=session.tracer,
+                component=self.name,
+            )
+            causal.set_floor(from_version)
+            self.causal_buffers.append(causal)
+        if causal is not None:
+            feed = _CausalSessionFeed(self, session, causal)
+        else:
+            feed = _SessionFeed(self, session)
         # the feed inherits the session's *sampled* tracer so an
         # unsampled session's relay feed records no per-delivery hops
         handle = self.relay.watch_range(
@@ -402,6 +506,11 @@ class PubsubEdgeFrontend:
         self.up = True
         self.topic = broker.topic(topic)
         self.sessions: Dict[str, ClientSession] = {}
+        #: per-session causal gates (causal mode only), by client name.
+        #: Stamps arrive in-band on message payloads (CDC stamping), so
+        #: no index plumbing is needed on this pipeline.
+        self._causal: Dict[str, CausalBuffer] = {}
+        self.causal_buffers: list = []
         self.table = SessionTable(
             sim,
             drain_interval=config.drain_interval,
@@ -459,7 +568,22 @@ class PubsubEdgeFrontend:
             if message.offset < expected:
                 continue  # already served by replay (or a dup)
             session.expected_offsets[message.partition] = message.offset + 1
-            session.offer(self._update_from(message))
+            self._offer_session(session, message)
+
+    def _offer_session(self, session: ClientSession, message: Message) -> None:
+        """Offer one message to one session, through its causal gate
+        (if causal mode) or directly."""
+        update = self._update_from(message)
+        causal = self._causal.get(session.client.name)
+        if causal is None:
+            session.offer(update)
+            return
+        payload = message.payload
+        stamp = payload.get("causal") if isinstance(payload, dict) else None
+        causal.submit(
+            message.key, update.version, stamp,
+            lambda: session.offer(update),
+        )
 
     @staticmethod
     def _update_from(message: Message) -> Update:
@@ -503,6 +627,21 @@ class PubsubEdgeFrontend:
         session.staleness_at_connect = staleness
         client.staleness_at_connect.append(staleness)
         self.sessions[client.name] = session
+        if self.config.delivery_mode == "causal":
+            causal = CausalBuffer(
+                self.sim,
+                CausalBufferConfig(hold_deadline=self.config.causal_hold),
+                name=f"{self.name}/{client.name}",
+                in_range=session.key_range.contains,
+                tracer=session.tracer,
+                component=self.name,
+            )
+            # the durable *version* cursor floors the gate: deps the
+            # client observed before disconnecting are already met, so
+            # replay never stalls on history it is not going to re-see
+            causal.set_floor(client.cursor)
+            self._causal[client.name] = causal
+            self.causal_buffers.append(causal)
         if session.tracer is not None:
             session.tracer.record(
                 hops.EDGE_CONNECT, self.name,
@@ -542,7 +681,7 @@ class PubsubEdgeFrontend:
                 expected = message.offset + 1
                 session.expected_offsets[log.partition] = expected
                 self.replayed += 1
-                session.offer(self._update_from(message))
+                self._offer_session(session, message)
                 if not session.active:
                     return  # replay overflowed a disconnect-policy session
             if expected < log.next_offset:
@@ -557,6 +696,7 @@ class PubsubEdgeFrontend:
     def _session_closed(self, session: ClientSession, reason: str) -> None:
         if self.sessions.get(session.client.name) is session:
             del self.sessions[session.client.name]
+            self._causal.pop(session.client.name, None)
 
     # ------------------------------------------------------------------
     # Failable protocol

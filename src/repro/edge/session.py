@@ -70,6 +70,14 @@ class SessionConfig:
     initial_credits: int = 32
     #: Frontend -> client delivery latency per item.
     delivery_latency: float = 0.001
+    #: COALESCE only: set False to queue every update instead of
+    #: superseding queued entries per key.  Supersession is a *reorder*:
+    #: the newer value takes the queue position of the update it
+    #: replaced, jumping ahead of everything offered in between —
+    #: including its own causal dependencies.  Causal-mode frontends
+    #: therefore disable it (order fidelity over the per-key queue
+    #: bound); see docs/causal.md.
+    coalesce: bool = True
 
     def __post_init__(self) -> None:
         if self.max_queue < 1:
@@ -193,9 +201,13 @@ class ClientSession:
         #: consumed entries are None'd behind ``_qhead``
         self._queue: List[object] = []
         self._qhead = 0
-        #: COALESCE only: pending cell per key (None otherwise)
+        #: COALESCE only: pending cell per key (None otherwise, or when
+        #: the config disables supersession for causal order fidelity)
         self._cells: Optional[Dict[Key, List[Update]]] = (
-            {} if self._policy is SlowConsumerPolicy.COALESCE else None
+            {}
+            if self._policy is SlowConsumerPolicy.COALESCE
+            and self.config.coalesce
+            else None
         )
         self.credits = self.config.initial_credits
         self._draining = False

@@ -351,6 +351,57 @@ class TraceIndex:
             "repairs_attributed": attributed,
         }
 
+    def causal_summary(self) -> Dict[str, object]:
+        """Summarize the ``causal.*`` hop family across all chains.
+
+        Counts stamps/holds/releases, aggregates hold durations, and —
+        the loss-provenance angle — attributes every bounded-hold
+        *deadline* release to the dependency it was still waiting for:
+        ``"dep lost upstream"`` when the awaited update's own chain
+        never reached a terminal apply hop (it died on the wire or in a
+        retention gap, so waiting longer could not have helped),
+        ``"dep late"`` when the dep did eventually arrive — the hold
+        window was simply shorter than the dep's lateness.
+        """
+        stamped = held = released = deadline = 0
+        hold_ms: List[float] = []
+        deadline_records: List[Dict[str, object]] = []
+        for (key, version), events in self._chains.items():
+            for event in events:
+                if event.hop == hops.CAUSAL_STAMP:
+                    stamped += 1
+                elif event.hop == hops.CAUSAL_HELD:
+                    held += 1
+                elif event.hop == hops.CAUSAL_RELEASED:
+                    released += 1
+                    hold_ms.append(float(event.attrs.get("held_ms", 0.0)))
+                elif event.hop == hops.CAUSAL_DEADLINE:
+                    deadline += 1
+                    hold_ms.append(float(event.attrs.get("held_ms", 0.0)))
+                    waiting = str(event.attrs.get("waiting_for", ""))
+                    first = waiting.split(",")[0] if waiting else ""
+                    cause = "unknown"
+                    if ":" in first:
+                        dep_key, _, dep_v = first.rpartition(":")
+                        dep_chain = self._chains.get((dep_key, int(dep_v)), ())
+                        arrived = any(e.hop in TERMINAL_HOPS for e in dep_chain)
+                        cause = "dep late" if arrived else "dep lost upstream"
+                    deadline_records.append({
+                        "key": key, "version": version,
+                        "waiting_for": waiting, "cause": cause,
+                    })
+        return {
+            "stamped": stamped,
+            "held": held,
+            "released_deps": released,
+            "released_deadline": deadline,
+            "hold_ms_max": round(max(hold_ms), 3) if hold_ms else 0.0,
+            "hold_ms_mean": (
+                round(sum(hold_ms) / len(hold_ms), 3) if hold_ms else 0.0
+            ),
+            "deadline_releases": deadline_records,
+        }
+
     def provenance_counts(self) -> Dict[Tuple[str, str], int]:
         """{(last_hop, cause): lost-update count}, for summary tables."""
         counts: Dict[Tuple[str, str], int] = {}

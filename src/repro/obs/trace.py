@@ -80,6 +80,12 @@ class hops:
     RECONCILE_TIMEOUT = "reconcile.timeout"    # per-op deadline expired
     RECONCILE_GIVEUP = "reconcile.giveup"      # retry budget exhausted (ERROR)
     CORRUPT_INJECT = "corrupt.inject"          # StateCorruptor mutated state
+    # causal delivery tier (repro.causal; key/version = the stamped
+    # update, so these hops join the same chains as the data hops)
+    CAUSAL_STAMP = "causal.stamp"        # dep metadata minted at commit
+    CAUSAL_HELD = "causal.held"          # delivery parked on unmet deps
+    CAUSAL_RELEASED = "causal.released"  # deps arrived; delivery resumed
+    CAUSAL_DEADLINE = "causal.deadline"  # bounded hold expired; delivered anyway
 
 
 @dataclass(frozen=True)

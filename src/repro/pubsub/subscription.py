@@ -30,6 +30,7 @@ import hashlib
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional
 
+from repro.causal.buffer import CausalBuffer, CausalBufferConfig
 from repro.obs.trace import hops, payload_version
 from repro.pubsub.dlq import DeadLetterPolicy
 from repro.pubsub.message import Message
@@ -67,6 +68,15 @@ class SubscriptionConfig:
     #: delivery path bit-for-bit unchanged.  Redeliveries always go
     #: per-message: a batch that times out re-enters the single path.
     max_delivery_batch: int = 1
+    #: ``"fifo"`` (default) is the classic per-partition order.
+    #: ``"causal"`` routes fetched messages through a cross-partition
+    #: :class:`~repro.causal.buffer.CausalBuffer`: a message whose
+    #: in-band causal deps (``payload["causal"]``) have not been
+    #: dispatched yet is held up to ``causal_hold`` seconds before the
+    #: normal dispatch path sees it.  See docs/causal.md.
+    delivery_mode: str = "fifo"
+    #: Bounded-hold deadline (seconds) for causal mode.
+    causal_hold: float = 0.25
 
     def __post_init__(self) -> None:
         if self.max_inflight_per_partition < 1:
@@ -77,6 +87,15 @@ class SubscriptionConfig:
             raise ValueError("latency/jitter must be >= 0")
         if self.max_delivery_batch < 1:
             raise ValueError("max_delivery_batch must be >= 1")
+        if self.delivery_mode not in ("fifo", "causal"):
+            raise ValueError("delivery_mode must be 'fifo' or 'causal'")
+        if self.delivery_mode == "causal" and self.max_delivery_batch != 1:
+            raise ValueError(
+                "causal delivery gates messages one at a time; "
+                "combine it with max_delivery_batch=1"
+            )
+        if self.causal_hold <= 0:
+            raise ValueError("causal_hold must be positive")
 
 
 @dataclass
@@ -133,6 +152,17 @@ class Subscription:
         self.acked = 0
         self.dead_lettered = 0
         self._pump_scheduled: Dict[int, bool] = {p: False for p in self._state}
+        # causal mode: one buffer spanning every partition — exactly the
+        # cross-partition ordering per-partition FIFO cannot give
+        self.causal_buffer: Optional[CausalBuffer] = None
+        if config.delivery_mode == "causal":
+            self.causal_buffer = CausalBuffer(
+                sim,
+                CausalBufferConfig(hold_deadline=config.causal_hold),
+                name=f"sub:{name}",
+                tracer=tracer,
+                component="broker",
+            )
 
     # ------------------------------------------------------------------
     # membership
@@ -224,7 +254,10 @@ class Subscription:
                 if message.offset > state.fetch_offset:
                     self._account_gap(state, log, message.offset)
                 state.fetch_offset = message.offset + 1
-                self._dispatch(partition, message, attempts=1)
+                if self.causal_buffer is not None:
+                    self._submit_causal(partition, message)
+                else:
+                    self._dispatch(partition, message, attempts=1)
         if messages:
             # more may be waiting beyond the budget
             state_after = self._state[partition]
@@ -265,6 +298,25 @@ class Subscription:
             group_member = member
             group.append(message)
         self._dispatch_group(partition, group, group_member)
+
+    def _submit_causal(self, partition: int, message: Message) -> None:
+        """Gate one fetched message through the causal buffer.
+
+        Redeliveries never come back through here — they already passed
+        the gate once; the redelivery wheel re-enters ``_dispatch``
+        directly, so at-least-once semantics are untouched.
+        """
+        payload = message.payload
+        version = payload_version(payload)
+        if version is None:
+            # no in-band identity: nothing to order on, pass through
+            self._dispatch(partition, message, attempts=1)
+            return
+        stamp = payload.get("causal") if isinstance(payload, dict) else None
+        self.causal_buffer.submit(
+            message.key, version, stamp,
+            lambda: self._dispatch(partition, message, attempts=1),
+        )
 
     def _account_gap(self, state: _PartitionState, log, next_present: int) -> None:
         """Attribute skipped offsets to GC or compaction — silently."""

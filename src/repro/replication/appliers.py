@@ -16,6 +16,8 @@ import dataclasses
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro._types import Mutation, MutationKind
+from repro.causal.buffer import CausalBuffer, CausalBufferConfig
+from repro.obs.trace import payload_version
 from repro.pubsub.broker import Broker
 from repro.pubsub.consumer import Consumer
 from repro.pubsub.message import Message
@@ -62,12 +64,27 @@ class _ApplierBase:
         resilience: Optional[ChannelConfig] = None,
         delivery_batch: int = 1,
         batch_overhead: float = 0.0,
+        delivery_mode: str = "fifo",
+        causal_hold: float = 0.25,
     ) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
+        if delivery_mode not in ("fifo", "causal"):
+            raise ValueError("delivery_mode must be 'fifo' or 'causal'")
         self.sim = sim
         self.target = target
         self.records_seen = 0
+        # causal mode gates the *apply* step: workers still consume
+        # concurrently, but an apply whose in-band causal deps have not
+        # been applied here yet waits for them (bounded by causal_hold)
+        self.causal_buffer: Optional[CausalBuffer] = None
+        if delivery_mode == "causal":
+            self.causal_buffer = CausalBuffer(
+                sim,
+                CausalBufferConfig(hold_deadline=causal_hold),
+                name=f"applier:{group_name}",
+                component="applier",
+            )
         #: applies refused by the replica because a cursor was provably
         #: corrupted (typed CursorCorruption); the record is consumed
         #: but never applied — the reconciliation plane's repair signal
@@ -129,7 +146,7 @@ class _ApplierBase:
         dispatch overhead only once.
         """
         ops = [self._op_for(message) for message in messages]
-        if any(op is None for op in ops):
+        if self.causal_buffer is not None or any(op is None for op in ops):
             ok = True
             for message in messages:
                 if self._handle(message) is False:
@@ -163,6 +180,22 @@ class _ApplierBase:
                 self.cursor_faults += 1
         else:
             self._tx.send(self._endpoint_name, {"method": method, "args": args})
+
+    def _apply_record(self, message: Message, method: str, *args: Any) -> None:
+        """Apply one record, gated by the causal buffer when enabled."""
+        if self.causal_buffer is None:
+            self._apply_op(method, *args)
+            return
+        payload = message.payload
+        version = payload_version(payload)
+        if version is None:
+            self._apply_op(method, *args)
+            return
+        stamp = payload.get("causal") if isinstance(payload, dict) else None
+        self.causal_buffer.submit(
+            message.key, version, stamp,
+            lambda: self._apply_op(method, *args),
+        )
 
     def backlog(self) -> int:
         return self.group.backlog()
@@ -241,6 +274,8 @@ class ConcurrentApplier(_ApplierBase):
         resilience: Optional[ChannelConfig] = None,
         delivery_batch: int = 1,
         batch_overhead: float = 0.0,
+        delivery_mode: str = "fifo",
+        causal_hold: float = 0.25,
     ) -> None:
         super().__init__(
             sim, broker, topic, target,
@@ -252,11 +287,14 @@ class ConcurrentApplier(_ApplierBase):
             resilience=resilience,
             delivery_batch=delivery_batch,
             batch_overhead=batch_overhead,
+            delivery_mode=delivery_mode,
+            causal_hold=causal_hold,
         )
 
     def _handle(self, message: Message) -> bool:
         self.records_seen += 1
-        self._apply_op(
+        self._apply_record(
+            message,
             "apply_naive", message.key, _mutation_of(message),
             message.payload["version"],
         )
@@ -288,6 +326,8 @@ class VersionCheckedApplier(_ApplierBase):
         resilience: Optional[ChannelConfig] = None,
         delivery_batch: int = 1,
         batch_overhead: float = 0.0,
+        delivery_mode: str = "fifo",
+        causal_hold: float = 0.25,
     ) -> None:
         super().__init__(
             sim, broker, topic, target,
@@ -299,11 +339,14 @@ class VersionCheckedApplier(_ApplierBase):
             resilience=resilience,
             delivery_batch=delivery_batch,
             batch_overhead=batch_overhead,
+            delivery_mode=delivery_mode,
+            causal_hold=causal_hold,
         )
 
     def _handle(self, message: Message) -> bool:
         self.records_seen += 1
-        self._apply_op(
+        self._apply_record(
+            message,
             "apply_versioned", message.key, _mutation_of(message),
             message.payload["version"],
         )
@@ -335,6 +378,8 @@ class PartitionSerialApplier(_ApplierBase):
         resilience: Optional[ChannelConfig] = None,
         delivery_batch: int = 1,
         batch_overhead: float = 0.0,
+        delivery_mode: str = "fifo",
+        causal_hold: float = 0.25,
     ) -> None:
         partitions = broker.topic(topic).num_partitions
         super().__init__(
@@ -347,6 +392,8 @@ class PartitionSerialApplier(_ApplierBase):
             resilience=resilience,
             delivery_batch=delivery_batch,
             batch_overhead=batch_overhead,
+            delivery_mode=delivery_mode,
+            causal_hold=causal_hold,
         )
 
     def _handle(self, message: Message) -> bool:
@@ -354,7 +401,8 @@ class PartitionSerialApplier(_ApplierBase):
         # per-key order is guaranteed by keyed partitioning + partition
         # affinity, so a plain versioned apply never skips (belt and
         # braces: keep the version check to stay safe under redelivery)
-        self._apply_op(
+        self._apply_record(
+            message,
             "apply_versioned", message.key, _mutation_of(message),
             message.payload["version"],
         )

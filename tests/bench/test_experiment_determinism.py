@@ -127,3 +127,18 @@ def test_e15_replays_identically():
     assert _rows(e15_broker_batch_sweep.run(**params)) == _rows(
         e15_broker_batch_sweep.run(**params)
     )
+
+
+def test_e16_replays_identically():
+    # loss draws on the publish wire, retransmit backoff, and causal
+    # hold timers all ride the sim clock and seeded RNG: the fifo/causal
+    # grid must replay exactly, inversion counts included
+    params = dict(
+        pipelines=("pubsub", "watch"), modes=("fifo", "causal"),
+        num_chains=6, pair_rate=25.0, duration=3.0, drain=5.0, seed=53,
+    )
+    from repro.bench.experiments import e16_causal_order
+
+    assert _rows(e16_causal_order.run(**params)) == _rows(
+        e16_causal_order.run(**params)
+    )

@@ -207,3 +207,44 @@ def test_config_validation():
         SessionConfig(initial_credits=0)
     with pytest.raises(ValueError):
         SessionConfig(delivery_latency=-1.0)
+
+
+def test_coalesce_disabled_queues_every_update(sim):
+    # causal-mode frontends run COALESCE-policy sessions with
+    # supersession off (SessionConfig.coalesce=False): in-place
+    # supersession hands the newer value the superseded update's queue
+    # position — a reorder that breaks causal delivery (docs/causal.md)
+    client = RecordingClient()
+    session = make_session(
+        sim, client,
+        policy=SlowConsumerPolicy.COALESCE, coalesce=False,
+        max_queue=1000, delivery_latency=0.0,
+    )
+    for i in range(1, 101):
+        session.offer(upd(i, key=f"k{i % 5}"))
+    sim.run()
+    # the full sequence, in offer order — nothing superseded
+    assert [u.version for u in client.delivered] == list(range(1, 101))
+    assert session.coalesced == 0
+    assert session.attributed == session.offered
+
+
+def test_coalesce_supersession_is_a_reorder(sim):
+    # pins the hazard the causal tier must avoid: k1's second value
+    # jumps the queue to its first value's position, overtaking the k2
+    # update offered in between
+    client = RecordingClient(auto_grant=False)
+    session = make_session(
+        sim, client,
+        policy=SlowConsumerPolicy.COALESCE, initial_credits=1,
+        delivery_latency=0.0,
+    )
+    session.offer(Update(key="k0", version=1))   # consumes the credit
+    sim.run()
+    session.offer(Update(key="k1", version=2))
+    session.offer(Update(key="k2", version=3))
+    session.offer(Update(key="k1", version=4))   # supersedes v2 in place
+    session.grant(10)
+    sim.run()
+    delivered = [(u.key, u.version) for u in client.delivered]
+    assert delivered == [("k0", 1), ("k1", 4), ("k2", 3)]
