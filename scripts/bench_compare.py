@@ -5,7 +5,7 @@ Workflow (see docs/performance.md):
 
 - ``python scripts/bench_compare.py`` runs the ``benchmarks/`` suite via
   pytest-benchmark, then compares each tracked benchmark's median
-  against the committed baseline (``BENCH_pr8.json``) and exits
+  against the committed baseline (``BENCH_pr10.json``) and exits
   non-zero when any regresses by more than the threshold (default 25%).
 - ``python scripts/bench_compare.py --json out.json`` skips the run and
   gates a pytest-benchmark JSON you already produced.
@@ -32,7 +32,7 @@ from pathlib import Path
 from typing import Dict, Optional
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
-DEFAULT_BASELINE = REPO_ROOT / "BENCH_pr8.json"
+DEFAULT_BASELINE = REPO_ROOT / "BENCH_pr10.json"
 DEFAULT_THRESHOLD = 0.25  # fail when median grows by more than this
 
 
@@ -143,7 +143,7 @@ def main() -> None:
         "--baseline",
         type=Path,
         default=DEFAULT_BASELINE,
-        help="committed baseline file (default: BENCH_pr8.json)",
+        help="committed baseline file (default: BENCH_pr10.json)",
     )
     parser.add_argument(
         "--json",

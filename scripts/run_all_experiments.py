@@ -5,23 +5,41 @@ Used to regenerate the measured sections of EXPERIMENTS.md:
 
     python scripts/run_all_experiments.py > experiments_output.txt
 
-With ``--trace-dir DIR``, experiments that produce causal traces
-(``result.artifacts["tracers"]`` — currently E3 and E10) also export
-one deterministic JSONL file per configuration into DIR; see
-``scripts/trace_report.py`` for rendered reports.
+``--jobs N`` runs experiments across N worker processes (the fleet's
+:func:`repro.fleet.process_map`).  Each worker captures its experiment's
+entire stdout (tables, notes, trace-export lines) into a buffer; the
+parent prints the buffers in registry order — so the output is
+**byte-identical to a sequential run** apart from the wall-time lines,
+which measure real elapsed time and are suppressed entirely under
+``--omit-timings`` (use that flag when diffing two runs).  An experiment
+that itself shards across processes (E17) detects it is inside a worker
+and runs its shards inline — same results by the fleet's determinism
+contract.
 
-A failing experiment no longer aborts the sweep: its traceback is
-printed in place, the remaining experiments still run, and the script
-exits nonzero with a per-experiment summary so CI catches the breakage.
+``--only E3,E17`` restricts the sweep to a comma-separated subset, in
+registry order.
+
+With ``--trace-dir DIR``, experiments that produce causal traces
+(``result.artifacts["tracers"]``) also export one deterministic JSONL
+file per configuration into DIR; see ``scripts/trace_report.py`` for
+rendered reports.  Exports happen inside the worker, so ``--jobs`` runs
+produce the same files.
+
+A failing experiment does not abort the sweep: its traceback is printed
+in place, the remaining experiments still run, and the script exits
+nonzero with a per-experiment summary so CI catches the breakage.
 """
 
 import argparse
+import contextlib
+import io
 import os
 import sys
 import time
 import traceback
 
 from repro.bench import experiments
+from repro.fleet import process_map
 
 
 def _export_traces(trace_dir: str, experiment_id: str, result) -> None:
@@ -36,41 +54,92 @@ def _export_traces(trace_dir: str, experiment_id: str, result) -> None:
         print(f"(trace exported: {path}, {len(tracer.log)} events)")
 
 
+def _run_one(task):
+    """Worker: run one experiment, capturing its stdout verbatim.
+
+    Returns ``(experiment_id, ok, captured_text, wall_seconds)``.
+    Module-level so it pickles by reference into ``--jobs`` workers.
+    """
+    experiment_id, trace_dir = task
+    buffer = io.StringIO()
+    started = time.time()
+    ok = True
+    with contextlib.redirect_stdout(buffer):
+        try:
+            module = experiments.get(experiment_id)
+            result = module.run(**module.DEFAULTS)
+        except Exception:
+            ok = False
+            print(f"!!! {experiment_id} FAILED")
+            print(traceback.format_exc())
+        else:
+            print(result.render())
+            if trace_dir:
+                _export_traces(trace_dir, experiment_id, result)
+    return experiment_id, ok, buffer.getvalue(), time.time() - started
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
         "--trace-dir", default=None,
         help="export per-configuration trace JSONL from traced experiments",
     )
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="run experiments across N worker processes (default 1); "
+             "deterministic output is identical to a sequential run",
+    )
+    parser.add_argument(
+        "--only", default=None, metavar="IDS",
+        help="comma-separated experiment ids (e.g. E3,E17); "
+             "runs the subset in registry order",
+    )
+    parser.add_argument(
+        "--omit-timings", action="store_true",
+        help="suppress the nondeterministic wall-time lines so two "
+             "runs (any --jobs) diff byte-identically",
+    )
     args = parser.parse_args()
+
+    ids = experiments.all_ids()
+    if args.only:
+        wanted = [token.strip() for token in args.only.split(",") if token.strip()]
+        unknown = [token for token in wanted if token not in ids]
+        if unknown:
+            parser.error(
+                f"unknown experiment id(s): {', '.join(unknown)} "
+                f"(known: {', '.join(ids)})"
+            )
+        ids = [experiment_id for experiment_id in ids if experiment_id in wanted]
+
+    outcomes = process_map(
+        _run_one,
+        [(experiment_id, args.trace_dir) for experiment_id in ids],
+        jobs=args.jobs,
+    )
 
     failures = {}
     timings = {}
-    for experiment_id in experiments.all_ids():
-        module = experiments.get(experiment_id)
-        started = time.time()
-        try:
-            result = module.run(**module.DEFAULTS)
-        except Exception:
-            timings[experiment_id] = time.time() - started
-            failures[experiment_id] = traceback.format_exc()
-            print(f"!!! {experiment_id} FAILED")
-            print(failures[experiment_id])
-        else:
-            timings[experiment_id] = time.time() - started
-            print(result.render())
-            if args.trace_dir:
-                _export_traces(args.trace_dir, experiment_id, result)
-        print(f"(wall time: {timings[experiment_id]:.1f}s)")
+    for experiment_id, ok, text, wall in outcomes:
+        timings[experiment_id] = wall
+        if not ok:
+            failures[experiment_id] = True
+        sys.stdout.write(text)
+        if not args.omit_timings:
+            print(f"(wall time: {wall:.1f}s)")
         print()
         print("=" * 72)
         print()
 
     print("summary")
     print("-------")
-    for experiment_id in experiments.all_ids():
+    for experiment_id in ids:
         status = "FAILED" if experiment_id in failures else "ok"
-        print(f"{experiment_id:5s} {status:6s} {timings[experiment_id]:6.1f}s")
+        if args.omit_timings:
+            print(f"{experiment_id:5s} {status:6s}")
+        else:
+            print(f"{experiment_id:5s} {status:6s} {timings[experiment_id]:6.1f}s")
     if failures:
         print(
             f"\n{len(failures)} experiment(s) failed: "

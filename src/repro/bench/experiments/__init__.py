@@ -28,6 +28,7 @@ _MODULES: Dict[str, str] = {
     "E14": "repro.bench.experiments.e14_session_scale",
     "E15": "repro.bench.experiments.e15_broker_batch_sweep",
     "E16": "repro.bench.experiments.e16_causal_order",
+    "E17": "repro.bench.experiments.e17_fleet_scale",
     # ablations of the proposed model's design choices
     "A1": "repro.bench.experiments.a1_fanout_tree",
     "A2": "repro.bench.experiments.a2_soft_state_budget",

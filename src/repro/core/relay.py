@@ -133,6 +133,18 @@ class WatchRelay(LinkedCache, Watchable):
         correct as a store snapshot, just possibly staler — which §4.2.1
         explicitly allows ("it is acceptable to read a stale snapshot").
         """
+        version = self.snapshot_version(key_range)
+        return version, self.data.items_at(key_range, version)
+
+    def snapshot_version(self, key_range: KeyRange) -> Version:
+        """The version ``snapshot_for_downstream`` would serve right now.
+
+        Split out so edge frontends can probe the version *before*
+        assembling items: during a mass-snapshot reconnect storm the
+        relay state is frozen between commits, so every session sharing
+        a key range would re-run the same range scan — the frontend
+        caches the assembled items keyed by this version instead.
+        """
         if self.state != "watching":
             raise SnapshotUnavailable(f"relay {self.name} is {self.state}")
         version = self.knowledge.best_snapshot_version(key_range)
@@ -140,7 +152,7 @@ class WatchRelay(LinkedCache, Watchable):
             raise SnapshotUnavailable(
                 f"relay {self.name} has no complete knowledge of {key_range}"
             )
-        return version, self.data.items_at(key_range, version)
+        return version
 
     @property
     def downstream_watchers(self) -> int:

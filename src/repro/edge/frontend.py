@@ -112,6 +112,17 @@ class EdgeFrontendConfig:
     #: (the frontend tracks knowledge centrally via the relay).  True
     #: (default) keeps the subscribed schedule byte-identical.
     feed_progress: bool = True
+    #: Mass-snapshot storm knob: when set, a *reconnecting* client
+    #: (``client.connects > 1``) is treated as at least this many
+    #: versions (watch) / messages-per-partition (pubsub) behind the
+    #: frontend head, however fresh its durable cursor actually is —
+    #: modeling long-offline devices whose cursors sit below the GC /
+    #: compaction floor.  With an age above ``catchup_threshold`` the
+    #: watch path is forced onto the snapshot re-serve (range scan) and
+    #: the pubsub path onto a full log replay that crosses retention
+    #: holes (``replay_gaps``).  None (default) trusts the real cursor —
+    #: byte-identical to the pre-knob schedule.
+    reconnect_cursor_age: Optional[int] = None
     #: ``"fifo"`` (default) offers updates to sessions in arrival order.
     #: ``"causal"`` gates each session's feed through its own
     #: :class:`~repro.causal.buffer.CausalBuffer` (range-filtered,
@@ -129,6 +140,8 @@ class EdgeFrontendConfig:
             raise ValueError("replay_batch must be >= 1")
         if self.drain_interval is not None and self.drain_interval < 0:
             raise ValueError("drain_interval must be >= 0")
+        if self.reconnect_cursor_age is not None and self.reconnect_cursor_age < 0:
+            raise ValueError("reconnect_cursor_age must be >= 0")
         if self.delivery_mode not in ("fifo", "causal"):
             raise ValueError("delivery_mode must be 'fifo' or 'causal'")
         if self.causal_hold <= 0:
@@ -282,6 +295,13 @@ class WatchEdgeFrontend:
         self.snapshots_served = 0
         self.snapshot_retries = 0
         self.feed_resyncs = 0
+        #: snapshot re-serves answered from the per-range cache without
+        #: re-running the range scan (mass-snapshot storms are O(distinct
+        #: ranges) scans + O(sessions) copies, not O(sessions) scans)
+        self.snapshot_cache_hits = 0
+        #: (range.low, range.high) -> (version, items); one entry per
+        #: distinct session key range, invalidated by version mismatch
+        self._snapshot_cache: Dict[tuple, tuple] = {}
         #: source-tier load: snapshots the relay itself pulled from the
         #: store (edge-served client snapshots never touch this)
         self.source_snapshots = 0
@@ -345,6 +365,9 @@ class WatchEdgeFrontend:
         self.sessions[client.name] = session
         cursor = client.cursor
         head = self.head_version()
+        age = self.config.reconnect_cursor_age
+        if age is not None and client.connects > 1:
+            cursor = min(cursor, max(0, head - age))
         staleness = head - cursor if head > cursor else 0
         session.staleness_at_connect = staleness
         client.staleness_at_connect.append(staleness)
@@ -420,7 +443,7 @@ class WatchEdgeFrontend:
         if not session.active or not self.up:
             return
         try:
-            version, items = self.relay.snapshot_for_downstream(session.key_range)
+            version = self.relay.snapshot_version(session.key_range)
         except SnapshotUnavailable:
             # relay mid-(re)sync; back off and retry from edge state
             self.snapshot_retries += 1
@@ -428,6 +451,17 @@ class WatchEdgeFrontend:
                 self.config.snapshot_retry, lambda: self._serve_snapshot(session)
             )
             return
+        cache_key = (session.key_range.low, session.key_range.high)
+        cached = self._snapshot_cache.get(cache_key)
+        if cached is not None and cached[0] == version:
+            # same range at the same version: the relay state hasn't
+            # moved, so the scan would rebuild an identical dict.
+            # ``offer_snapshot`` copies, so sharing the items is safe.
+            items = cached[1]
+            self.snapshot_cache_hits += 1
+        else:
+            items = self.relay.data.items_at(session.key_range, version)
+            self._snapshot_cache[cache_key] = (version, items)
         self.snapshots_served += 1
         if session.tracer is not None:
             session.tracer.record(
@@ -619,6 +653,17 @@ class PubsubEdgeFrontend:
         offsets = dict(client.offsets)
         for log in self.topic.partitions:
             offsets.setdefault(log.partition, 0)
+        age = self.config.reconnect_cursor_age
+        if age is not None and client.connects > 1:
+            # storm knob: the reconnecting cursor is at least ``age``
+            # messages behind each partition head, so replay must cross
+            # whatever retention GC / compaction removed (replay_gaps)
+            for log in self.topic.partitions:
+                aged = log.next_offset - age
+                if aged < 0:
+                    aged = 0
+                if aged < offsets[log.partition]:
+                    offsets[log.partition] = aged
         session.expected_offsets = offsets
         staleness = sum(
             max(0, log.next_offset - offsets[log.partition])

@@ -45,6 +45,16 @@ from repro.obs.trace import TraceSampler
 
 _NO_SID = -1
 
+# Ready-list link states (values in the ``_in_ready`` bytearray).  A
+# slot released while still linked keeps its physical link (the list is
+# singly linked; unlinking in ``release`` would be O(chain)) but is
+# disarmed, and ``enqueue_ready`` re-arms it in place rather than
+# linking it a second time — a second link would either self-cycle (when
+# the slot is the stale tail) or truncate the chain behind it.
+_UNLINKED = 0
+_LINKED_ARMED = 1
+_LINKED_STALE = 2
+
 
 class SessionTable:
     """Dense slot table for :class:`~repro.edge.session.ClientSession`s."""
@@ -133,10 +143,19 @@ class SessionTable:
         return sid
 
     def release(self, sid: int) -> None:
-        """Return a slot to the freelist (the session closed)."""
+        """Return a slot to the freelist (the session closed).
+
+        A slot released while physically linked on the ready list stays
+        linked (state 2, disarmed) until the pump walks past it — the
+        list is singly linked, so unlinking here would cost O(chain).
+        ``enqueue_ready`` knows never to re-link a still-linked slot,
+        which is what makes close-then-immediate-reuse (a reconnect
+        storm's hot path) safe.
+        """
         self._sessions[sid] = None
         self.generation[sid] += 1
-        self._in_ready[sid] = 0
+        if self._in_ready[sid]:
+            self._in_ready[sid] = _LINKED_STALE
         self._free.append(sid)
         self.active -= 1
 
@@ -161,10 +180,17 @@ class SessionTable:
         return self.drain_interval is not None
 
     def enqueue_ready(self, sid: int) -> None:
-        """Link a session into the ready list (idempotent, O(1))."""
+        """Link a session into the ready list (idempotent, O(1)).
+
+        A sid still physically linked (armed, or stale from a released
+        slot the pump has not walked past yet) is re-armed in place: the
+        pending chain will reach it, and linking it again would corrupt
+        the list.
+        """
         if self._in_ready[sid]:
+            self._in_ready[sid] = _LINKED_ARMED
             return
-        self._in_ready[sid] = 1
+        self._in_ready[sid] = _LINKED_ARMED
         self._ready_next[sid] = _NO_SID
         if self._ready_tail == _NO_SID:
             self._ready_head = sid
@@ -194,12 +220,14 @@ class SessionTable:
         visits = 0
         while sid != _NO_SID:
             nxt = ready_next[sid]
-            if in_ready[sid]:
-                in_ready[sid] = 0
-                visits += 1
-                session = sessions[sid]
-                if session is not None:
-                    session._deliver_next()
+            state = in_ready[sid]
+            if state:
+                in_ready[sid] = _UNLINKED
+                if state == _LINKED_ARMED:
+                    visits += 1
+                    session = sessions[sid]
+                    if session is not None:
+                        session._deliver_next()
             sid = nxt
         self.pump_visits += visits
 

@@ -1,0 +1,53 @@
+"""Shard-parallel fleet runner: multi-process deterministic scale-out.
+
+One simulation process tops out around the E14 rung (~500k sessions,
+docs/scale.md).  The MigratoryData deployment the paper's scaling story
+is measured against holds ~10M concurrent users — a population no
+single CPython process reaches in reasonable wall-clock.  The fleet
+runner closes that gap the way the Kafka-vs-RabbitMQ study says every
+real broker does: **partition the fleet**.  The edge session population
+is split across N independent shards, each shard runs as its own fully
+deterministic simulation in its own worker process, and the per-shard
+results merge into one deterministic report:
+
+- counter columns are summed (plain integer addition, exact);
+- latency distributions merge through
+  :class:`~repro.obs.mergehist.MergeHist` — fixed shared bucket edges,
+  so a merge is integer vector addition and quantiles are identical
+  regardless of worker count or completion order;
+- trace JSONL concatenates in ``(shard_id, seq)`` order, so
+  ``scripts/trace_report.py`` consumes merged output unchanged;
+- a conservation check asserts the merged funnels (sessions, messages,
+  ``net.bytes.*``) equal the per-shard sums exactly.
+
+Determinism is per-shard and compositional: shard ``i`` of ``N`` seeds
+its simulation from :func:`shard_seed` (the deterministic md5 hash in
+``repro.pubsub.topic``), never from process identity, wall clock, or
+scheduling — so ``jobs=1`` (in-process, sequential) and ``jobs=N``
+(worker pool) produce byte-identical merged reports, and two
+invocations of either are byte-identical to each other.
+
+See E17 (``repro.bench.experiments.e17_fleet_scale``) for the headline
+sweep and ``docs/scale.md`` ("Toward 10M") for where this sits in the
+scaling story.
+"""
+
+from repro.fleet.pool import process_map
+from repro.fleet.runner import (
+    ConservationError,
+    FleetReport,
+    FleetRunner,
+    ShardResult,
+    ShardSpec,
+    shard_seed,
+)
+
+__all__ = [
+    "ConservationError",
+    "FleetReport",
+    "FleetRunner",
+    "ShardResult",
+    "ShardSpec",
+    "process_map",
+    "shard_seed",
+]

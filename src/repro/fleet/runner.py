@@ -1,0 +1,267 @@
+"""The fleet runner: shard specs, worker results, deterministic merge.
+
+The contract between a fleet and its shards:
+
+- The runner hands each worker a :class:`ShardSpec` — shard id, shard
+  count, a seed derived via :func:`shard_seed`, and the run's shared
+  parameter dict.  That spec is the worker's ONLY input: a conforming
+  worker derives everything (RNG, key namespace, population slice)
+  from it, never from process identity, wall clock, or environment.
+- The worker returns a :class:`ShardResult` — integer counters, named
+  :class:`~repro.obs.mergehist.MergeHist` latency histograms, and its
+  trace JSONL.  Everything in it must be picklable and deterministic.
+- The runner merges results in shard-id order into a
+  :class:`FleetReport`: counters summed, histograms merged bucket-wise
+  (exact), traces concatenated in ``(shard_id, seq)`` order.  Because
+  every merge operation is exact integer addition, the report is
+  byte-identical for any worker count — ``jobs=1`` in-process equals
+  ``jobs=N`` across processes, which is what the determinism suite
+  pins.
+
+:meth:`FleetReport.check_conservation` is the anti-entropy bar carried
+over from the single-process experiments: every declared funnel
+(``offered == delivered + coalesced + ...``, ``net.bytes.sent ==
+delivered + dropped``) must balance in every shard AND in the merged
+totals, and the merged totals must equal the independently recomputed
+per-shard sums.  A fleet that cannot account for every update across
+the process boundary has no business reporting loss numbers.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.fleet.pool import process_map
+from repro.obs.mergehist import MergeHist
+from repro.pubsub.topic import _stable_hash
+
+__all__ = [
+    "ConservationError",
+    "FleetReport",
+    "FleetRunner",
+    "ShardResult",
+    "ShardSpec",
+    "shard_seed",
+]
+
+
+def shard_seed(run_seed: int, shard_id: int) -> int:
+    """Deterministic per-shard seed: stable across processes and hosts.
+
+    Derived through the md5-based hash already used for partition
+    routing (``repro.pubsub.topic._stable_hash``), NOT the built-in
+    ``hash`` — the fleet's replay guarantee must survive
+    ``PYTHONHASHSEED`` and interpreter builds.
+    """
+    return _stable_hash(f"fleet:{run_seed}:{shard_id}")
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """Everything one worker needs to run its shard (picklable)."""
+
+    shard_id: int
+    num_shards: int
+    seed: int
+    params: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class ShardResult:
+    """One shard's deterministic output (picklable).
+
+    ``counters`` merge by summation; ``hists`` merge bucket-wise (all
+    shards must use identical edges); ``trace_jsonl`` concatenates in
+    shard order.  ``info`` is per-shard diagnostic payload that does
+    NOT merge and is excluded from the deterministic serialization —
+    wall-clock timings live there.
+    """
+
+    shard_id: int
+    counters: Dict[str, int] = field(default_factory=dict)
+    hists: Dict[str, MergeHist] = field(default_factory=dict)
+    trace_jsonl: str = ""
+    info: Dict[str, Any] = field(default_factory=dict)
+
+
+class ConservationError(AssertionError):
+    """A merged funnel failed to balance against its per-shard sums."""
+
+
+class FleetReport:
+    """The merged view of one fleet run."""
+
+    def __init__(
+        self,
+        run_seed: int,
+        num_shards: int,
+        jobs: int,
+        shards: List[ShardResult],
+    ) -> None:
+        self.run_seed = run_seed
+        self.num_shards = num_shards
+        self.jobs = jobs
+        self.shards = sorted(shards, key=lambda s: s.shard_id)
+        ids = [s.shard_id for s in self.shards]
+        if ids != list(range(num_shards)):
+            raise ValueError(f"expected shards 0..{num_shards - 1}, got {ids}")
+        #: merged integer counters (exact sums over shards)
+        self.counters: Dict[str, int] = {}
+        for shard in self.shards:
+            for name, value in shard.counters.items():
+                self.counters[name] = self.counters.get(name, 0) + value
+        #: merged histograms (exact bucket-wise integer merge)
+        self.hists: Dict[str, MergeHist] = {}
+        for shard in self.shards:
+            for name, hist in shard.hists.items():
+                merged = self.hists.get(name)
+                if merged is None:
+                    merged = MergeHist(hist.edges)
+                    self.hists[name] = merged
+                merged.merge(hist)
+        #: parent-side wall clock (seconds); nondeterministic, never
+        #: part of the serialized report
+        self.wall: float = 0.0
+
+    # ------------------------------------------------------------------
+    # merged trace
+
+    def trace_jsonl(self) -> str:
+        """All shard traces, concatenated in ``(shard_id, seq)`` order.
+
+        Each shard's tracer already emits lines in seq order, so
+        shard-order concatenation IS ``(shard_id, seq)`` order.
+        ``scripts/trace_report.py`` and ``TraceIndex`` consume the
+        merged file unchanged (shards namespace their keys, so chains
+        never collide).
+        """
+        return "\n".join(
+            shard.trace_jsonl for shard in self.shards if shard.trace_jsonl
+        )
+
+    # ------------------------------------------------------------------
+    # conservation
+
+    def check_conservation(
+        self,
+        funnels: Mapping[str, Tuple[str, Sequence[str]]] = (),
+    ) -> Dict[str, int]:
+        """Assert merged totals are exactly the per-shard sums, and
+        every declared funnel balances per shard and merged.
+
+        ``funnels`` maps a funnel name to ``(total_key, part_keys)``:
+        the invariant is ``counters[total_key] == sum(counters[k] for k
+        in part_keys)`` — checked inside every shard and on the merged
+        counters.  Missing counters count as 0 (a shard that never
+        touched a path contributes nothing).
+
+        Returns ``{funnel_name: merged_total}``; raises
+        :class:`ConservationError` listing every violation.
+        """
+        problems: List[str] = []
+        # merged == independently recomputed per-shard sums, per counter
+        for name in sorted(self.counters):
+            direct = sum(s.counters.get(name, 0) for s in self.shards)
+            if direct != self.counters[name]:
+                problems.append(
+                    f"counter {name}: merged {self.counters[name]} != "
+                    f"shard sum {direct}"
+                )
+        checked: Dict[str, int] = {}
+        for funnel_name, (total_key, part_keys) in dict(funnels).items():
+            for scope, counters in [
+                ("merged", self.counters),
+                *[(f"shard {s.shard_id}", s.counters) for s in self.shards],
+            ]:
+                total = counters.get(total_key, 0)
+                parts = sum(counters.get(k, 0) for k in part_keys)
+                if total != parts:
+                    problems.append(
+                        f"funnel {funnel_name} [{scope}]: "
+                        f"{total_key}={total} != sum{tuple(part_keys)}={parts}"
+                    )
+            checked[funnel_name] = self.counters.get(total_key, 0)
+        if problems:
+            raise ConservationError("; ".join(problems))
+        return checked
+
+    # ------------------------------------------------------------------
+    # deterministic serialization (the byte-identity surface)
+
+    def to_json(self) -> str:
+        """Deterministic JSON of everything mergeable: the merged
+        counters and histograms plus each shard's counters.  Two runs
+        of the same fleet — any ``jobs`` — serialize byte-identically;
+        ``info`` and wall clocks are deliberately excluded."""
+        record = {
+            "run_seed": self.run_seed,
+            "num_shards": self.num_shards,
+            "counters": self.counters,
+            "hists": {
+                name: {
+                    "edges": list(hist.edges),
+                    "counts": list(hist.counts),
+                    "overflow": hist.overflow,
+                    "count": hist.count,
+                }
+                for name, hist in self.hists.items()
+            },
+            "shards": [
+                {"shard_id": s.shard_id, "counters": s.counters}
+                for s in self.shards
+            ],
+        }
+        return json.dumps(record, sort_keys=True, separators=(",", ":"))
+
+
+class FleetRunner:
+    """Partition a run into shards, execute them ``jobs`` wide, merge.
+
+    ``worker`` is a module-level function ``ShardSpec -> ShardResult``
+    (module-level so it pickles by reference into worker processes).
+    """
+
+    def __init__(
+        self,
+        worker: Callable[[ShardSpec], ShardResult],
+        num_shards: int,
+        run_seed: int,
+        jobs: int = 1,
+    ) -> None:
+        if num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.worker = worker
+        self.num_shards = num_shards
+        self.run_seed = run_seed
+        self.jobs = jobs
+
+    def specs(self, params: Optional[Dict[str, Any]] = None) -> List[ShardSpec]:
+        params = dict(params or {})
+        return [
+            ShardSpec(
+                shard_id=shard_id,
+                num_shards=self.num_shards,
+                seed=shard_seed(self.run_seed, shard_id),
+                params=params,
+            )
+            for shard_id in range(self.num_shards)
+        ]
+
+    def run(self, params: Optional[Dict[str, Any]] = None) -> FleetReport:
+        started = time.perf_counter()
+        results = process_map(
+            self.worker, self.specs(params), jobs=self.jobs
+        )
+        report = FleetReport(
+            run_seed=self.run_seed,
+            num_shards=self.num_shards,
+            jobs=self.jobs,
+            shards=results,
+        )
+        report.wall = time.perf_counter() - started
+        return report

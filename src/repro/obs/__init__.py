@@ -29,12 +29,15 @@ simulation events — determinism is untouched.
 
 from repro.obs.eventlog import EventLog, TraceEvent
 from repro.obs.index import LossRecord, TraceIndex
+from repro.obs.mergehist import MergeHist, latency_edges
 from repro.obs.profiler import SimProfiler
 from repro.obs.trace import Span, TraceContext, Tracer, TraceSampler, hops
 
 __all__ = [
     "EventLog",
     "LossRecord",
+    "MergeHist",
+    "latency_edges",
     "SimProfiler",
     "Span",
     "TraceContext",

@@ -98,7 +98,7 @@ class SubscriptionConfig:
             raise ValueError("causal_hold must be positive")
 
 
-@dataclass
+@dataclass(slots=True)
 class _Inflight:
     message: Message
     member: str
@@ -205,17 +205,24 @@ class Subscription:
 
     def _route(self, message: Message) -> Optional[str]:
         """Pick the member for a message, or None if nobody can take it."""
-        up = self._up_members()
-        if not up:
-            return None
         routing = self.config.routing
         if routing is RoutingPolicy.PARTITION:
+            # fast path: the assigned member is up (the steady state) —
+            # skip building the up-members list per message.  Identical
+            # answers: the old code only consulted that list when the
+            # assignment was missing or its member down.
             member = self._partition_assignment.get(message.partition)
             if member is not None and self._members[member].up:
                 return member
+            up = self._up_members()
+            if not up:
+                return None
             # assigned member down: realistic groups failover after a
             # rebalance; model that as deterministic fallback over up members
             return up[message.partition % len(up)]
+        up = self._up_members()
+        if not up:
+            return None
         if routing is RoutingPolicy.KEY and message.key is not None:
             return up[_stable_hash(message.key) % len(up)]
         return up[self.sim.rng.randrange(len(up))]
@@ -250,14 +257,21 @@ class Subscription:
         if self.config.max_delivery_batch > 1:
             self._pump_batched(partition, state, log, messages)
         else:
+            # hoisted: the gate choice and dispatch target are loop
+            # invariants — resolve them once per pump, not per message
+            causal = self.causal_buffer
+            submit = self._submit_causal if causal is not None else None
+            dispatch = self._dispatch
+            account_gap = self._account_gap
             for message in messages:
-                if message.offset > state.fetch_offset:
-                    self._account_gap(state, log, message.offset)
-                state.fetch_offset = message.offset + 1
-                if self.causal_buffer is not None:
-                    self._submit_causal(partition, message)
+                offset = message.offset
+                if offset > state.fetch_offset:
+                    account_gap(state, log, offset)
+                state.fetch_offset = offset + 1
+                if submit is not None:
+                    submit(partition, message)
                 else:
-                    self._dispatch(partition, message, attempts=1)
+                    dispatch(partition, message, attempts=1)
         if messages:
             # more may be waiting beyond the budget
             state_after = self._state[partition]
@@ -350,9 +364,10 @@ class Subscription:
         inflight = _Inflight(message=message, member=member, attempts=attempts)
         state.inflight[message.offset] = inflight
         self._arm_deadline(partition, inflight)
-        delay = self.config.delivery_latency
-        if self.config.delivery_jitter > 0:
-            delay += self.sim.rng.random() * self.config.delivery_jitter
+        config = self.config
+        delay = config.delivery_latency
+        if config.delivery_jitter > 0:
+            delay += self.sim.rng.random() * config.delivery_jitter
         consumer = self._members[member]
         self.delivered += 1
         if attempts > 1:

@@ -263,6 +263,133 @@ def test_shared_drain_is_deterministic():
 
 
 # ----------------------------------------------------------------------
+# slot reuse under snapshot-heavy reconnect storms (the E17 regime: a
+# storm wave disconnects, reconnects below the retention floor, and is
+# re-served by full snapshots — every reconnect recycles a slot while
+# snapshots flow through the queue)
+
+
+def _snapshot(version, n_items=3):
+    return version, {f"k{i}": version * 10 + i for i in range(n_items)}
+
+
+def test_generation_tracks_every_release_through_a_storm():
+    """Three storm waves over the same slots: each sid's generation
+    equals exactly how many times that slot was freed, and a handle
+    captured before a wave is detectably stale after it."""
+    sim = Simulation()
+    table = SessionTable()
+    sessions = [_session(sim, table, f"s{i}")[0] for i in range(8)]
+    releases = [0] * 8
+    stale = []  # (sid, generation-at-attach) pairs from closed waves
+    for wave in range(3):
+        victims = [s for i, s in enumerate(sessions) if (i + wave) % 2 == 0]
+        for victim in victims:
+            version, items = _snapshot(wave + 1)
+            victim.offer_snapshot(version, items)
+        sim.run()
+        for victim in victims:
+            stale.append((victim.sid, table.generation[victim.sid]))
+            victim.close()
+            releases[victim.sid] += 1
+        # the storm wave reconnects immediately: LIFO reuse of the
+        # just-freed slots, all mid-storm
+        for j, victim in enumerate(victims):
+            replacement, _ = _session(sim, table, f"w{wave}r{j}")
+            assert table.generation[replacement.sid] == releases[replacement.sid]
+            sessions[sessions.index(victim)] = replacement
+    assert list(table.generation) == releases
+    assert table.capacity == 8  # storms recycled, never grew, the table
+    # every handle from a closed wave is detectably stale
+    for sid, generation_at_attach in stale:
+        assert table.generation[sid] > generation_at_attach
+
+
+def test_snapshot_column_zeroed_when_storm_reuses_slot():
+    sim = Simulation()
+    table = SessionTable()
+    s0, c0 = _session(sim, table)
+    s0.offer_snapshot(*_snapshot(5))
+    s0.offer_snapshot(*_snapshot(6))
+    sim.run()
+    assert s0.snapshots_delivered == 2
+    s0.close()
+    s1, _ = _session(sim, table)
+    assert s1.sid == s0.sid
+    # the recycled slot starts clean; the closed session still reports
+    # its own snapshot count from the close-time _final capture
+    assert s1.snapshots_delivered == 0
+    assert s0.snapshots_delivered == 2
+    assert table.snapshots[s1.sid] == 0
+
+
+def test_conservation_survives_snapshot_heavy_churn():
+    """Fold counters EdgeClient-style at close time across a multi-wave
+    snapshot storm; lifetime attribution stays exact even though
+    ``totals()`` columns are zeroed by slot reuse."""
+    sim = Simulation()
+    table = SessionTable()
+    folded = {"offered": 0, "attributed": 0, "snapshots": 0}
+
+    def fold(session):
+        folded["offered"] += session.offered
+        folded["attributed"] += session.attributed
+        folded["snapshots"] += session.snapshots_delivered
+
+    n = 64
+    sessions = [
+        _session(sim, table, f"s{i}", max_queue=4, initial_credits=2)[0]
+        for i in range(n)
+    ]
+    version = 0
+    for wave in range(4):
+        for i, session in enumerate(sessions):
+            version += 1
+            session.offer(_update(version, key=f"k{i % 3}"))
+            if i % 2 == wave % 2:
+                session.offer_snapshot(*_snapshot(version))
+        sim.run()  # the storm's traffic (snapshots included) lands...
+        for i in range(wave % 2, n, 2):
+            version += 1
+            sessions[i].offer(_update(version, key=f"k{i % 3}"))
+            # ...then half the wave disconnects with work still queued
+            fold(sessions[i])
+            sessions[i].close()
+            # ...and reconnects into the just-freed slot mid-storm
+            sessions[i] = _session(
+                sim, table, f"w{wave}s{i}", max_queue=4, initial_credits=2
+            )[0]
+        sim.run()
+    for session in sessions:
+        fold(session)
+        session.close()
+    assert folded["offered"] > 0 and folded["snapshots"] > 0
+    assert folded["attributed"] == folded["offered"]
+    assert table.capacity == n  # churn recycled slots, never grew
+
+
+def test_shared_drain_reuse_mid_ready_delivers_to_new_session_once():
+    """A storm closes a session sitting on the ready list and a
+    reconnect claims its sid before the pump fires: the pump must
+    deliver the *new* session's item exactly once (the stale link is
+    skipped, the fresh link served)."""
+    sim = Simulation()
+    table = SessionTable(sim=sim, drain_interval=0.001)
+    s0, c0 = _session(sim, table, "old")
+    s0.offer(_update(1, key="old-key"))  # s0 joins the ready list
+    s0.close()  # slot freed while linked
+    s1, c1 = _session(sim, table, "new")
+    assert s1.sid == s0.sid
+    s1.offer_snapshot(*_snapshot(7))  # re-serve: new session re-enqueues
+    sim.run()
+    assert c0.delivered == []
+    assert len(c1.delivered) == 1
+    assert s1.snapshots_delivered == 1
+    assert s0.returned_to_cursor == 1  # old queued update went back
+    assert s0.attributed == s0.offered
+
+
+# ----------------------------------------------------------------------
 # trace sampling
 
 

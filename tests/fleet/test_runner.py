@@ -1,0 +1,203 @@
+"""Fleet runner: seed derivation, exact merge, conservation, identity.
+
+The merge rules (counters summed, histograms added bucket-wise, traces
+in shard order) are pure integer arithmetic, so a FleetReport must be
+byte-identical for any jobs count — pinned here with a synthetic
+worker; the real-simulation version lives in
+tests/bench/test_fleet_determinism.py.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.fleet import (
+    ConservationError,
+    FleetReport,
+    FleetRunner,
+    ShardResult,
+    ShardSpec,
+    shard_seed,
+)
+from repro.obs.mergehist import MergeHist
+
+# ----------------------------------------------------------------------
+# seeds and specs
+
+
+def test_shard_seed_is_pinned_across_hosts_and_hashseeds():
+    """md5-derived, NOT builtin hash(): these literals must never move,
+    or every recorded fleet run stops replaying."""
+    assert [shard_seed(1701, i) for i in range(4)] == [
+        9176905656291331883,
+        11558067417566362308,
+        3561150866801907441,
+        6310300434315491682,
+    ]
+    assert shard_seed(1701, 0) != shard_seed(1702, 0)
+
+
+def test_spec_is_frozen():
+    spec = ShardSpec(shard_id=0, num_shards=2, seed=1, params={})
+    with pytest.raises(dataclasses.FrozenInstanceError):
+        spec.shard_id = 5
+
+
+def test_runner_specs_derive_everything_from_run_seed():
+    runner = FleetRunner(_counting_worker, num_shards=3, run_seed=42)
+    specs = runner.specs({"x": 1})
+    assert [s.shard_id for s in specs] == [0, 1, 2]
+    assert all(s.num_shards == 3 for s in specs)
+    assert [s.seed for s in specs] == [shard_seed(42, i) for i in range(3)]
+    assert all(s.params == {"x": 1} for s in specs)
+
+
+def test_runner_validates_args():
+    with pytest.raises(ValueError):
+        FleetRunner(_counting_worker, num_shards=0, run_seed=1)
+    with pytest.raises(ValueError):
+        FleetRunner(_counting_worker, num_shards=1, run_seed=1, jobs=0)
+
+
+# ----------------------------------------------------------------------
+# merging
+
+
+def _hist(values):
+    hist = MergeHist((0.001, 0.01, 0.1, 1.0))
+    for value in values:
+        hist.record(value)
+    return hist
+
+
+def _shard(shard_id, counters, values=(), trace="", info=None):
+    return ShardResult(
+        shard_id=shard_id,
+        counters=counters,
+        hists={"lat": _hist(values)},
+        trace_jsonl=trace,
+        info=info or {},
+    )
+
+
+def test_report_merges_counters_hists_and_traces_in_shard_order():
+    # shards handed over out of order: the report sorts by shard_id
+    report = FleetReport(
+        run_seed=7, num_shards=3, jobs=2,
+        shards=[
+            _shard(2, {"a": 5}, values=[0.5], trace='{"s":2}'),
+            _shard(0, {"a": 1, "b": 10}, values=[0.005], trace='{"s":0}'),
+            _shard(1, {"a": 2}, values=[0.05, 2.0], trace=""),
+        ],
+    )
+    assert report.counters == {"a": 8, "b": 10}
+    merged = report.hists["lat"]
+    assert merged.count == 4 and merged.overflow == 1
+    assert merged.counts == [0, 1, 1, 1]
+    # empty shard traces are skipped, order is shard order
+    assert report.trace_jsonl() == '{"s":0}\n{"s":2}'
+
+
+def test_report_requires_contiguous_shard_ids():
+    with pytest.raises(ValueError):
+        FleetReport(
+            run_seed=1, num_shards=2, jobs=1,
+            shards=[_shard(0, {}), _shard(2, {})],
+        )
+
+
+def test_to_json_is_deterministic_and_excludes_info():
+    def build():
+        return FleetReport(
+            run_seed=3, num_shards=2, jobs=1,
+            shards=[
+                _shard(1, {"z": 1, "a": 2}, info={"wall": 123.4}),
+                _shard(0, {"a": 1}, info={"wall": 0.1}),
+            ],
+        )
+
+    a, b = build(), build()
+    b.wall = 99.9  # nondeterministic fields must not leak into bytes
+    assert a.to_json() == b.to_json()
+    record = json.loads(a.to_json())
+    assert "info" not in json.dumps(record)
+    assert "wall" not in record
+
+
+# ----------------------------------------------------------------------
+# conservation
+
+
+def test_conservation_passes_and_returns_merged_totals():
+    report = FleetReport(
+        run_seed=1, num_shards=2, jobs=1,
+        shards=[
+            _shard(0, {"offered": 10, "delivered": 7, "dropped": 3}),
+            _shard(1, {"offered": 4, "delivered": 4}),  # dropped missing -> 0
+        ],
+    )
+    totals = report.check_conservation(
+        {"sessions": ("offered", ("delivered", "dropped"))}
+    )
+    assert totals == {"sessions": 14}
+
+
+def test_conservation_catches_a_shard_level_hole():
+    """The funnel balances in the merged totals (+1 and -1 cancel) but
+    is violated inside each shard — exactly the bug a merged-only check
+    would wave through."""
+    report = FleetReport(
+        run_seed=1, num_shards=2, jobs=1,
+        shards=[
+            _shard(0, {"offered": 10, "delivered": 11}),
+            _shard(1, {"offered": 10, "delivered": 9}),
+        ],
+    )
+    with pytest.raises(ConservationError, match="shard 0"):
+        report.check_conservation(
+            {"sessions": ("offered", ("delivered",))}
+        )
+
+
+def test_conservation_catches_merged_imbalance():
+    report = FleetReport(
+        run_seed=1, num_shards=1, jobs=1,
+        shards=[_shard(0, {"offered": 10, "delivered": 9})],
+    )
+    with pytest.raises(ConservationError, match="funnel sessions"):
+        report.check_conservation(
+            {"sessions": ("offered", ("delivered",))}
+        )
+
+
+# ----------------------------------------------------------------------
+# end-to-end with a synthetic worker: jobs=1 == jobs=N, byte for byte
+
+
+def _counting_worker(spec: ShardSpec) -> ShardResult:
+    # pure function of the spec — the fleet contract
+    hist = MergeHist((0.001, 0.01, 0.1, 1.0))
+    for i in range(spec.shard_id + 3):
+        hist.record(0.001 * (spec.seed % 97) * (i + 1))
+    return ShardResult(
+        shard_id=spec.shard_id,
+        counters={
+            "seedmod": spec.seed % 1000,
+            "items": spec.params["items"] * (spec.shard_id + 1),
+        },
+        hists={"lat": hist},
+        trace_jsonl=f'{{"shard":{spec.shard_id}}}',
+        info={"pid-dependent": id(spec)},
+    )
+
+
+def test_fleet_runner_jobs1_equals_jobs4_byte_for_byte():
+    params = {"items": 5}
+    serial = FleetRunner(_counting_worker, 4, run_seed=1701, jobs=1).run(params)
+    wide = FleetRunner(_counting_worker, 4, run_seed=1701, jobs=4).run(params)
+    assert serial.to_json() == wide.to_json()
+    assert serial.trace_jsonl() == wide.trace_jsonl()
+    assert serial.counters["items"] == 5 * (1 + 2 + 3 + 4)
